@@ -1,0 +1,48 @@
+"""Fig. 4 — stall breakdown and warps/instruction per schedule.
+
+Paper shape (Nsight on A30, PR, D_hw): scheduling schemes introduce
+*new* stall categories — shared-memory (short scoreboard) stalls for
+S_wm/S_cm, while S_vm's time sits in memory (long scoreboard) stalls —
+and warp-latency-per-instruction varies by schedule.
+"""
+
+from conftest import run_once
+
+from repro.algorithms import make_algorithm
+from repro.bench import format_breakdown, run_single
+from repro.graph import dataset
+from repro.sim import GPUConfig
+from repro.sim.stats import StallCat
+
+SCHEDULES = ["vertex_map", "edge_map", "warp_map", "cta_map", "twc",
+             "sparseweaver"]
+
+
+def test_fig4_stall_breakdown(benchmark, emit):
+    graph = dataset("hollywood", scale=0.12)
+    config = GPUConfig.ampere_like()
+
+    def run():
+        out = {}
+        for sched in SCHEDULES:
+            stats = run_single(
+                make_algorithm("pagerank", iterations=2), graph, sched,
+                config=config,
+            ).stats
+            row = dict(stats.stall_breakdown())
+            row["warp/instr"] = round(
+                stats.total_cycles / max(stats.instructions, 1), 2
+            )
+            out[sched] = (stats, row)
+        return out
+
+    results = run_once(benchmark, run)
+    emit("fig04_stall_breakdown", format_breakdown(
+        {k: v for k, (_, v) in results.items()},
+        title="Fig 4: stall cycles by category (+ warp/instr)"))
+
+    vm_stats = results["vertex_map"][0]
+    wm_stats = results["warp_map"][0]
+    assert vm_stats.stall_cycles.get(StallCat.SHARED, 0) == 0
+    assert wm_stats.stall_cycles.get(StallCat.SHARED, 0) > 0
+    assert vm_stats.stall_cycles.get(StallCat.MEMORY, 0) > 0

@@ -1,0 +1,48 @@
+"""Fig. 17 — push vs pull execution-cycle breakdown (SparseWeaver, PR).
+
+Paper shape (on symmetric datasets): registration cycles are nearly
+identical between directions (<1% in the paper; we gate loosely), the
+edge-schedule + edge-info-access total is similar, and which direction
+wins the gather&sum stage varies by dataset.
+"""
+
+from conftest import run_once
+
+from repro.algorithms import make_algorithm
+from repro.bench import format_breakdown, run_single
+from repro.graph import dataset
+
+DATASETS = ["bio-human", "graph500", "web-uk", "web-wiki"]
+
+
+def test_fig17_push_pull_breakdown(benchmark, emit, bench_config):
+    graphs = {name: dataset(name, scale=0.25) for name in DATASETS}
+
+    def run():
+        out = {}
+        for name, graph in graphs.items():
+            for direction in ("pull", "push"):
+                stats = run_single(
+                    make_algorithm("pagerank", iterations=2,
+                                   direction=direction),
+                    graph, "sparseweaver", config=bench_config,
+                ).stats
+                out[f"{name}/{direction}"] = stats
+        return out
+
+    results = run_once(benchmark, run)
+    emit("fig17_push_pull", format_breakdown(
+        {k: dict(v.phase_breakdown()) for k, v in results.items()},
+        title="Fig 17: push vs pull cycle breakdown (SparseWeaver, PR)"))
+
+    from repro.sim.instructions import Phase
+
+    for name in DATASETS:
+        pull = results[f"{name}/pull"]
+        push = results[f"{name}/push"]
+        reg_pull = pull.phase_cycles[Phase.REGISTRATION]
+        reg_push = push.phase_cycles[Phase.REGISTRATION]
+        # Registration work is direction-independent on symmetric data.
+        assert abs(reg_pull - reg_push) / max(reg_pull, reg_push) < 0.5
+        # Both directions complete in the same ballpark.
+        assert 0.3 < pull.total_cycles / push.total_cycles < 3.0

@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one paper table or figure on scaled dataset
+analogs (DESIGN.md explains the scaling), prints the same rows/series
+the paper reports, and appends them to ``benchmarks/results/``.
+
+Absolute cycle counts are simulator cycles, not Vortex or Nvidia
+hardware time; the comparison targets are the *shapes* recorded in
+EXPERIMENTS.md. Each benchmark runs once (``pedantic`` with a single
+round) — the interesting measurement is the simulated cycle count, not
+the host wall time pytest-benchmark reports.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.graph import dataset_names, dataset
+from repro.graph.csr import CSRGraph
+from repro.sim import GPUConfig
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Dataset analog scale; override with REPRO_BENCH_SCALE.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.25"))
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> GPUConfig:
+    """The benchmark GPU preset (scaled Vortex)."""
+    return GPUConfig.vortex_bench()
+
+
+@pytest.fixture(scope="session")
+def bench_datasets() -> Dict[str, CSRGraph]:
+    """All nine Table III analogs at the benchmark scale."""
+    return {name: dataset(name, scale=BENCH_SCALE)
+            for name in dataset_names()}
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print a result block and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n===== {name} =====\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _emit
+
+
+def run_once(benchmark, fn):
+    """Run the experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

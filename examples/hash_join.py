@@ -1,0 +1,85 @@
+"""Hash-join probe with SparseWeaver (Section VII-A, Algorithm 1).
+
+A database-flavored scenario for the paper's "general usage" claim: the
+build side is an orders multimap keyed by customer id — ten whale
+customers hold hundreds of orders each, thousands of ordinary customers
+hold one or two. The probe phase aggregates order amounts per queried
+customer, scanning each customer's full hash chain (Algorithm 1's
+loop). Chain lengths inherit the whales' skew, so lockstep
+thread-per-query probing serializes whole warps behind each whale —
+while the Weaver packs chain slots densely across lanes.
+
+A point-lookup probe (first match wins) is shown too: there the naive
+scheme's per-lane early exit is competitive, the same effect the paper
+notes for vertex mapping on BFS-like workloads.
+
+    python examples/hash_join.py
+"""
+
+import numpy as np
+
+from repro.apps import GPUHashTable, run_hash_lookup
+from repro.sim import GPUConfig
+
+
+def build_orders(rng):
+    """Ten whales with ~300 orders; 2,000 regular customers with 2."""
+    whales = (np.arange(10) + 1) * 6_400
+    regulars = rng.choice(np.arange(20, 5_000), size=2_000,
+                          replace=False) * 64 + 32
+    customers = np.concatenate([
+        np.repeat(whales, 300), np.repeat(regulars, 2),
+    ])
+    amounts = rng.uniform(1, 100, customers.size)
+    return whales, regulars, customers, amounts
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    config = GPUConfig.vortex_bench()
+    whales, regulars, customers, amounts = build_orders(rng)
+    table = GPUHashTable(customers, amounts, num_buckets=1_024,
+                         allow_duplicates=True)
+    print(f"orders table: {table.size} rows, "
+          f"max chain {table.max_chain()}, "
+          f"mean chain {table.chain_lengths.mean():.1f}")
+
+    # Probe: mostly regulars, a sprinkle of whales (the hot keys).
+    probe = np.concatenate([
+        rng.choice(regulars, 460), rng.choice(whales, 52),
+    ])
+    rng.shuffle(probe)
+
+    print("\n== aggregate probe: total order amount per customer ==")
+    results = {}
+    for strategy in ("thread_per_query", "sparseweaver"):
+        res = run_hash_lookup(table, probe, strategy=strategy,
+                              config=config, mode="aggregate")
+        results[strategy] = res
+        print(f"  {strategy:17s} {res.stats.total_cycles:>9,} cycles, "
+              f"{res.stats.warp_iterations:>5} probe rounds")
+    np.testing.assert_allclose(results["thread_per_query"].values,
+                               results["sparseweaver"].values)
+    ratio = (results["thread_per_query"].stats.total_cycles
+             / results["sparseweaver"].stats.total_cycles)
+    print(f"  SparseWeaver speedup: {ratio:.2f}x")
+    whale_total = results["sparseweaver"].values[
+        np.isin(probe, whales)].max()
+    print(f"  biggest whale aggregate: {whale_total:,.0f}")
+
+    print("\n== point lookup: does this customer exist? ==")
+    unique_table = GPUHashTable(
+        np.unique(customers), np.arange(np.unique(customers).size,
+                                        dtype=float),
+        num_buckets=512)
+    for strategy in ("thread_per_query", "sparseweaver"):
+        res = run_hash_lookup(unique_table, probe, strategy=strategy,
+                              config=config, mode="first")
+        print(f"  {strategy:17s} {res.stats.total_cycles:>9,} cycles "
+              f"(hit rate {res.hit_rate:.2f})")
+    print("  (short chains + early exit: little left to weave, "
+          "as the paper observes for filter-heavy workloads)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: run PageRank under SparseWeaver and compare schedules.
+
+Builds a skewed power-law graph (the workload class that defeats naive
+vertex mapping), runs PageRank under every scheduling scheme on the
+cycle-level simulator, and prints cycles, speedups and the stall mix.
+
+    python examples/quickstart.py
+"""
+
+from repro import GraphProcessor, GPUConfig, make_algorithm, powerlaw_graph
+from repro.sched import ALL_SCHEDULES
+
+
+def main() -> None:
+    graph = powerlaw_graph(1_000, 6_000, exponent=1.9, seed=42)
+    print(f"graph: {graph} (max degree {int(graph.degrees.max())})")
+
+    config = GPUConfig.vortex_bench()
+    algorithm = make_algorithm("pagerank", iterations=3)
+
+    baseline = None
+    for schedule in ALL_SCHEDULES:
+        proc = GraphProcessor(
+            make_algorithm("pagerank", iterations=3),
+            schedule=schedule,
+            config=config,
+        )
+        result = proc.run(graph)
+        cycles = result.total_cycles
+        if baseline is None:
+            baseline = cycles
+        print(f"\n== {schedule} ==")
+        print(f"cycles: {cycles:>10,}   speedup over vertex_map: "
+              f"{baseline / cycles:.2f}x")
+        print("stalls:", ", ".join(
+            f"{k}={v}" for k, v in result.stats.stall_breakdown().items()
+        ))
+
+    # Results are identical across schedules — verify against one run.
+    reference = GraphProcessor(algorithm, schedule="vertex_map",
+                               config=config).run(graph)
+    top = reference.values.argsort()[-3:][::-1]
+    print("\ntop-3 PageRank vertices:", top.tolist())
+
+
+if __name__ == "__main__":
+    main()

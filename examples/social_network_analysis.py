@@ -1,0 +1,63 @@
+"""Social-network analysis: influence ranking and communities.
+
+The paper's introduction motivates GPU graph processing with social
+network analysis — exactly the skewed, hub-heavy workload where
+SparseWeaver shines. This example runs the pipeline a social analytics
+system would: PageRank for influence, connected components for
+community islands, and BFS for reachability from a seed account — each
+on the hollywood-2011 analog, under vertex mapping (naive) and
+SparseWeaver, with per-phase cycle breakdowns.
+
+    python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro import GraphProcessor, GPUConfig, make_algorithm
+from repro.graph import dataset
+from repro.graph.metrics import degree_skewness
+
+
+def run(alg_factory, graph, schedule, config, **kw):
+    proc = GraphProcessor(alg_factory(), schedule=schedule, config=config,
+                          **kw)
+    return proc.run(graph)
+
+
+def main() -> None:
+    graph = dataset("hollywood", scale=0.4)
+    config = GPUConfig.vortex_bench()
+    print(f"social graph analog: {graph}")
+    print(f"degree skewness: {degree_skewness(graph):.1f} "
+          f"(hubs own the edges)\n")
+
+    analyses = {
+        "influence (PageRank)": lambda: make_algorithm(
+            "pagerank", iterations=5),
+        "communities (CC)": lambda: make_algorithm("cc"),
+        "reach from seed (BFS)": lambda: make_algorithm("bfs", source=0),
+    }
+
+    for name, factory in analyses.items():
+        naive = run(factory, graph, "vertex_map", config)
+        weaver = run(factory, graph, "sparseweaver", config)
+        assert np.allclose(naive.values, weaver.values, atol=1e-9)
+        print(f"== {name} ==")
+        print(f"  naive vertex mapping: {naive.total_cycles:>10,} cycles")
+        print(f"  SparseWeaver:         {weaver.total_cycles:>10,} cycles"
+              f"  ({naive.total_cycles / weaver.total_cycles:.2f}x)")
+        print("  SparseWeaver phases: " + ", ".join(
+            f"{k}={v}" for k, v in weaver.stats.phase_breakdown().items()))
+
+    # The analytics output itself:
+    pr = run(analyses["influence (PageRank)"], graph, "sparseweaver",
+             config)
+    cc = run(analyses["communities (CC)"], graph, "sparseweaver", config)
+    influencers = pr.values.argsort()[-5:][::-1]
+    communities = len(np.unique(cc.values.astype(np.int64)))
+    print(f"\ntop influencers: {influencers.tolist()}")
+    print(f"community count: {communities}")
+
+
+if __name__ == "__main__":
+    main()

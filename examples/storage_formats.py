@@ -1,0 +1,62 @@
+"""Storage formats and the Weaver: CSR, Tigr splits, hybrid ELL.
+
+Section III-D claims SparseWeaver is format-agnostic as long as edges
+are consecutive and an offset array indicates the runs — plain CSR,
+split vertices (Tigr/CR2), or the CSR residue of a hybrid ELL layout.
+This example runs PageRank over one skewed graph through each format's
+schedule and shows where every layout pays its bill.
+
+    python examples/storage_formats.py
+"""
+
+import numpy as np
+
+from repro import GraphProcessor, GPUConfig, make_algorithm, powerlaw_graph
+from repro.frontend import reference
+from repro.graph.ell import to_hybrid_ell
+from repro.sched import (
+    HybridELLSchedule,
+    SparseWeaverSchedule,
+    SplitVertexMapSchedule,
+)
+
+
+def main() -> None:
+    graph = powerlaw_graph(800, 4_800, exponent=1.9, seed=3)
+    config = GPUConfig.vortex_bench()
+    ref = reference.pagerank(graph, iterations=2)
+    print(f"graph: {graph} (max degree {int(graph.degrees.max())})\n")
+
+    hybrid = to_hybrid_ell(graph)
+    print(f"hybrid ELL split at width {hybrid.width}: "
+          f"{hybrid.ell_edges} edges in the slab "
+          f"({hybrid.coverage():.0%}), {hybrid.residue_edges} in the "
+          f"CSR residue (hub tails)\n")
+
+    contenders = {
+        "CSR + naive vertex map": "vertex_map",
+        "Tigr splits (max degree 8)": SplitVertexMapSchedule(max_degree=8),
+        "CSR + SparseWeaver": SparseWeaverSchedule(),
+        "hybrid ELL + SparseWeaver": HybridELLSchedule(),
+    }
+    baseline = None
+    for label, schedule in contenders.items():
+        result = GraphProcessor(
+            make_algorithm("pagerank", iterations=2), schedule=schedule,
+            config=config,
+        ).run(graph)
+        np.testing.assert_allclose(result.values, ref, atol=1e-9)
+        cycles = result.total_cycles
+        if baseline is None:
+            baseline = cycles
+        print(f"{label:28s} {cycles:>8,} cycles "
+              f"({baseline / cycles:.2f}x)")
+
+    print("\nTakeaway: static formats (splits, ELL) buy balance at")
+    print("format-conversion and indirection cost; the Weaver gets the")
+    print("same dense distribution dynamically, and composes with ELL")
+    print("by weaving only the residue.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+"""BFS as a UDF, in both classic GPU formulations.
+
+``top_down`` (default — the Merrill et al. [35] style the paper
+benchmarks): frontier vertices scatter ``level + 1`` along outgoing
+edges; a *base filter* restricts registration to the current frontier
+and a *destination filter* drops already-visited neighbors. Frontier
+degrees follow the graph's skew, so naive vertex mapping collapses —
+the imbalance that makes BFS the paper's best case for SparseWeaver.
+
+``bottom_up``: every unvisited vertex gathers from in-neighbors looking
+for a frontier parent; gathering stops at the first hit — the *early
+exit* that motivates the ``WEAVER_SKIP`` instruction (Section III-C's
+supernode example).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlgorithmError
+from repro.frontend.udf import Algorithm, Direction
+from repro.graph.csr import CSRGraph
+
+
+def bfs_algorithm(
+    source: int = 0,
+    max_depth: int = 10_000,
+    variant: str = "top_down",
+) -> Algorithm:
+    """Build the BFS UDF rooted at ``source``."""
+    if source < 0:
+        raise AlgorithmError("BFS source must be non-negative")
+    if max_depth < 1:
+        raise AlgorithmError("max_depth must be at least 1")
+    if variant not in ("top_down", "bottom_up"):
+        raise AlgorithmError(
+            f"variant must be 'top_down' or 'bottom_up', got {variant!r}"
+        )
+
+    def init_state(graph: CSRGraph):
+        n = graph.num_vertices
+        if source >= n:
+            raise AlgorithmError(
+                f"BFS source {source} out of range [0, {n})"
+            )
+        level = np.full(n, -1, dtype=np.int64)
+        level[source] = 0
+        return {
+            "level": level,
+            "found": np.zeros(n, dtype=bool),
+            "_depth": np.zeros(1, dtype=np.int64),
+        }
+
+    def apply_update(state, graph: CSRGraph, iteration: int) -> int:
+        depth = int(state["_depth"][0])
+        newly = state["found"] & (state["level"] < 0)
+        state["level"][newly] = depth + 1
+        state["found"][:] = False
+        state["_depth"][0] = depth + 1
+        return int(newly.sum())
+
+    def converged(state, iteration: int, changed: int) -> bool:
+        return changed == 0 or int(state["_depth"][0]) >= max_depth
+
+    if variant == "top_down":
+        def base_filter(state, vids):
+            # Only current-frontier vertices expand.
+            return state["level"][vids] != state["_depth"][0]
+
+        def other_filter(state, others):
+            # Visited destinations need no notification.
+            return state["level"][others] >= 0
+
+        def edge_update(state, bases, others, weights, eids):
+            state["found"][others] = True
+
+        return Algorithm(
+            name="bfs",
+            direction=Direction.PUSH,
+            init_state=init_state,
+            edge_update=edge_update,
+            apply_update=apply_update,
+            converged=converged,
+            result_array="level",
+            acc_array="found",
+            edge_value_arrays=("level",),
+            base_filter_arrays=("level",),
+            uses_weights=False,
+            base_filter=base_filter,
+            other_filter=other_filter,
+            gather_alu=1,
+            apply_alu=2,
+            max_iterations=max_depth,
+            accumulate_target="other",
+        )
+
+    # bottom-up
+    def bu_base_filter(state, vids):
+        # Visited vertices need no more gathering.
+        return state["level"][vids] >= 0
+
+    def bu_other_filter(state, others):
+        # Only parents in the current frontier contribute.
+        return state["level"][others] != state["_depth"][0]
+
+    def bu_edge_update(state, bases, others, weights, eids):
+        state["found"][bases] = True
+
+    def early_exit(state, bases):
+        return state["found"][bases]
+
+    return Algorithm(
+        name="bfs-bottom-up",
+        direction=Direction.PULL,
+        init_state=init_state,
+        edge_update=bu_edge_update,
+        apply_update=apply_update,
+        converged=converged,
+        result_array="level",
+        acc_array="found",
+        edge_value_arrays=("level",),
+        base_filter_arrays=("level",),
+        uses_weights=False,
+        base_filter=bu_base_filter,
+        other_filter=bu_other_filter,
+        early_exit=early_exit,
+        gather_alu=1,
+        apply_alu=2,
+        max_iterations=max_depth,
+    )

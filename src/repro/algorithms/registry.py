@@ -1,0 +1,36 @@
+"""Algorithm registry: name -> UDF factory."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.errors import AlgorithmError
+from repro.frontend.udf import Algorithm
+from repro.algorithms.bfs import bfs_algorithm
+from repro.algorithms.cc import connected_components_algorithm
+from repro.algorithms.pagerank import pagerank_algorithm
+from repro.algorithms.sssp import sssp_algorithm
+
+_FACTORIES: Dict[str, Callable[..., Algorithm]] = {
+    "pagerank": pagerank_algorithm,
+    "pr": pagerank_algorithm,
+    "bfs": bfs_algorithm,
+    "sssp": sssp_algorithm,
+    "cc": connected_components_algorithm,
+    "connected_components": connected_components_algorithm,
+}
+
+
+def algorithm_names() -> List[str]:
+    """Canonical algorithm names (the paper's four benchmarks)."""
+    return ["pagerank", "bfs", "sssp", "cc"]
+
+
+def make_algorithm(name: str, **params) -> Algorithm:
+    """Build an algorithm UDF by name with factory parameters."""
+    key = name.lower()
+    if key not in _FACTORIES:
+        raise AlgorithmError(
+            f"unknown algorithm {name!r}; known: {algorithm_names()}"
+        )
+    return _FACTORIES[key](**params)

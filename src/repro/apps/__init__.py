@@ -1,0 +1,27 @@
+"""Beyond graphs: other sparse applications on SparseWeaver.
+
+Section VII-A argues the Weaver generalizes to any workload whose
+sparse structure lives in a CSR-style offset array — GPU hashing,
+MapReduce, GNNs, SpMM. This subpackage implements the paper's worked
+example (Algorithm 1): GPU hash-table lookup, where bucket scans are
+the sparse operation the Weaver converts into dense lane work.
+"""
+
+from repro.apps.hash_table import GPUHashTable
+from repro.apps.hash_lookup import LookupResult, run_hash_lookup
+from repro.apps.spmv import (
+    matrix_from_dense,
+    run_spmv,
+    spmv_algorithm,
+    spmv_reference,
+)
+
+__all__ = [
+    "GPUHashTable",
+    "LookupResult",
+    "run_hash_lookup",
+    "matrix_from_dense",
+    "run_spmv",
+    "spmv_algorithm",
+    "spmv_reference",
+]

@@ -1,0 +1,5 @@
+"""Auto-tuner baseline for Case Study 3 (Table V)."""
+
+from repro.autotune.tuner import AutoTuner, TuningReport, TrialResult
+
+__all__ = ["AutoTuner", "TuningReport", "TrialResult"]

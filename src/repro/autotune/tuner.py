@@ -1,0 +1,114 @@
+"""Exhaustive schedule auto-tuner (the Jeong et al. PACT'23 stand-in).
+
+Case Study 3 compares SparseWeaver — which needs *no* tuning — against
+an auto-tuner that tries every software schedule and keeps the best.
+The tuner's cost is the sum of all trial runs (the "Tuning Time"
+column of Table V); its benefit is the best software schedule's
+speedup over S_vm. SparseWeaver's column needs one run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.errors import ScheduleError
+from repro.frontend.framework import GraphProcessor
+from repro.frontend.udf import Algorithm
+from repro.graph.csr import CSRGraph
+from repro.sched.registry import SOFTWARE_SCHEDULES
+from repro.sim.config import GPUConfig
+
+
+@dataclass
+class TrialResult:
+    """One tuning trial: a schedule and its measured cost."""
+
+    schedule: str
+    cycles: int
+    wall_seconds: float
+
+
+@dataclass
+class TuningReport:
+    """Everything Table V needs for one dataset row."""
+
+    best_schedule: str
+    best_cycles: int
+    baseline_cycles: int
+    tuning_cycles: int
+    tuning_wall_seconds: float
+    trials: List[TrialResult] = field(default_factory=list)
+
+    @property
+    def best_speedup(self) -> float:
+        """Best software schedule's speedup over S_vm."""
+        return self.baseline_cycles / self.best_cycles if self.best_cycles else 0.0
+
+
+class AutoTuner:
+    """Try every candidate schedule on a workload; keep the fastest."""
+
+    def __init__(
+        self,
+        algorithm_factory,
+        config: Optional[GPUConfig] = None,
+        candidates: Optional[Sequence[str]] = None,
+        max_iterations: Optional[int] = None,
+        symmetrize: bool = False,
+        include_sparseweaver: bool = False,
+    ) -> None:
+        """``algorithm_factory`` is a zero-argument callable returning a
+        fresh :class:`~repro.frontend.udf.Algorithm` (tuning trials must
+        not share mutable state).
+
+        ``include_sparseweaver=True`` implements Section VII-B: on GPUs
+        that have the Weaver, the tuner treats it as one more hardware
+        option alongside the software schedules — typically collapsing
+        the search, since SparseWeaver wins most skewed workloads.
+        """
+        self.algorithm_factory = algorithm_factory
+        self.config = config or GPUConfig.vortex_bench()
+        self.candidates = list(
+            SOFTWARE_SCHEDULES if candidates is None else candidates
+        )
+        if include_sparseweaver and "sparseweaver" not in self.candidates:
+            self.candidates.append("sparseweaver")
+        if not self.candidates:
+            raise ScheduleError("auto-tuner needs at least one candidate")
+        self.max_iterations = max_iterations
+        self.symmetrize = symmetrize
+
+    def tune(self, graph: CSRGraph) -> TuningReport:
+        """Run every candidate; report the winner and the tuning bill."""
+        trials: List[TrialResult] = []
+        cycles_by_schedule: Dict[str, int] = {}
+        wall_total = 0.0
+        for name in self.candidates:
+            start = time.perf_counter()
+            proc = GraphProcessor(
+                self.algorithm_factory(),
+                schedule=name,
+                config=self.config,
+                symmetrize=self.symmetrize,
+            )
+            result = proc.run(graph, max_iterations=self.max_iterations)
+            wall = time.perf_counter() - start
+            wall_total += wall
+            cycles_by_schedule[name] = result.stats.total_cycles
+            trials.append(
+                TrialResult(name, result.stats.total_cycles, wall)
+            )
+        best = min(trials, key=lambda t: t.cycles)
+        baseline = cycles_by_schedule.get(
+            "vertex_map", trials[0].cycles
+        )
+        return TuningReport(
+            best_schedule=best.schedule,
+            best_cycles=best.cycles,
+            baseline_cycles=baseline,
+            tuning_cycles=sum(t.cycles for t in trials),
+            tuning_wall_seconds=wall_total,
+            trials=trials,
+        )

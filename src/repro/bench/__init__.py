@@ -1,0 +1,21 @@
+"""Benchmark harness: experiment runner and table/series formatting."""
+
+from repro.bench.runner import (
+    ExperimentResult,
+    run_schedule_comparison,
+    run_single,
+    geomean,
+)
+from repro.bench.report import (format_table, format_series,
+                                format_breakdown, format_bar_chart)
+
+__all__ = [
+    "ExperimentResult",
+    "run_schedule_comparison",
+    "run_single",
+    "geomean",
+    "format_table",
+    "format_series",
+    "format_breakdown",
+    "format_bar_chart",
+]

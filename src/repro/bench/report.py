@@ -1,0 +1,93 @@
+"""Plain-text table/series formatting for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+carry, so EXPERIMENTS.md can paste paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Union
+
+Number = Union[int, float]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+) -> str:
+    """Align a list of rows under headers."""
+    table: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        table.append([_fmt(cell) for cell in row])
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(table[0])))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table[1:]:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Mapping[str, Sequence[Number]],
+    title: str = "",
+) -> str:
+    """Figure-style output: one column per x value, one row per series."""
+    headers = [x_label] + [_fmt(x) for x in x_values]
+    rows = [[name] + list(values) for name, values in series.items()]
+    return format_table(headers, rows, title=title)
+
+
+def format_bar_chart(
+    values: Mapping[str, Number],
+    title: str = "",
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """ASCII horizontal bar chart (for terminal-friendly figures)."""
+    if not values:
+        return title
+    peak = max(float(v) for v in values.values()) or 1.0
+    label_w = max(len(str(k)) for k in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        bar = "#" * max(1, round(width * float(value) / peak))
+        lines.append(
+            f"{str(name).ljust(label_w)}  {bar} {_fmt(value)}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def format_breakdown(
+    breakdowns: Mapping[str, Mapping[str, Number]],
+    title: str = "",
+    normalize: bool = False,
+) -> str:
+    """Stacked-bar-style output: rows = configurations, columns = parts
+    (the Figs. 4/17/18 shape). ``normalize`` divides by each row total."""
+    parts: List[str] = []
+    for row in breakdowns.values():
+        for key in row:
+            if key not in parts:
+                parts.append(key)
+    headers = ["config"] + parts + ["total"]
+    rows = []
+    for name, row in breakdowns.items():
+        total = sum(row.values())
+        if normalize and total:
+            cells = [row.get(p, 0) / total for p in parts]
+            rows.append([name] + cells + [1.0])
+        else:
+            rows.append([name] + [row.get(p, 0) for p in parts] + [total])
+    return format_table(headers, rows, title=title)

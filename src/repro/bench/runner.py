@@ -1,0 +1,97 @@
+"""Experiment runner shared by every benchmark module.
+
+Each paper figure boils down to "run algorithm X under schedules S on
+graphs G with configuration C; report cycles/speedups/breakdowns" —
+this module is that loop, once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.frontend.framework import GraphProcessor, RunResult
+from repro.frontend.udf import Algorithm
+from repro.graph.csr import CSRGraph
+from repro.sim.config import GPUConfig
+
+
+@dataclass
+class ExperimentResult:
+    """Cycles per (graph, schedule) cell plus full run objects."""
+
+    cycles: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    runs: Dict[str, Dict[str, RunResult]] = field(default_factory=dict)
+
+    def speedups(self, baseline: str = "vertex_map") -> Dict[str, Dict[str, float]]:
+        """Per-graph speedups of every schedule over ``baseline``."""
+        out: Dict[str, Dict[str, float]] = {}
+        for graph_name, per_sched in self.cycles.items():
+            base = per_sched[baseline]
+            out[graph_name] = {
+                sched: base / c if c else float("inf")
+                for sched, c in per_sched.items()
+            }
+        return out
+
+    def geomean_speedups(self, baseline: str = "vertex_map") -> Dict[str, float]:
+        """Geometric-mean speedup per schedule across graphs."""
+        per_graph = self.speedups(baseline)
+        scheds = next(iter(per_graph.values())).keys() if per_graph else []
+        return {
+            sched: geomean([per_graph[g][sched] for g in per_graph])
+            for sched in scheds
+        }
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean (1.0 for an empty sequence)."""
+    values = [v for v in values]
+    if not values:
+        return 1.0
+    return math.exp(sum(math.log(max(v, 1e-12)) for v in values) / len(values))
+
+
+def run_single(
+    algorithm: Algorithm,
+    graph: CSRGraph,
+    schedule: str,
+    config: Optional[GPUConfig] = None,
+    max_iterations: Optional[int] = None,
+    symmetrize: bool = False,
+    **processor_kwargs,
+) -> RunResult:
+    """One (algorithm, graph, schedule) run."""
+    proc = GraphProcessor(
+        algorithm, schedule=schedule, config=config,
+        symmetrize=symmetrize, **processor_kwargs,
+    )
+    return proc.run(graph, max_iterations=max_iterations)
+
+
+def run_schedule_comparison(
+    algorithm_factory: Callable[[], Algorithm],
+    graphs: Dict[str, CSRGraph],
+    schedules: Sequence[str],
+    config: Optional[GPUConfig] = None,
+    max_iterations: Optional[int] = None,
+    symmetrize: bool = False,
+) -> ExperimentResult:
+    """The Fig. 10-style grid: every schedule on every graph.
+
+    ``algorithm_factory`` is called per run so trials never share
+    mutable state.
+    """
+    result = ExperimentResult()
+    for graph_name, graph in graphs.items():
+        result.cycles[graph_name] = {}
+        result.runs[graph_name] = {}
+        for sched in schedules:
+            run = run_single(
+                algorithm_factory(), graph, sched, config=config,
+                max_iterations=max_iterations, symmetrize=symmetrize,
+            )
+            result.cycles[graph_name][sched] = run.stats.total_cycles
+            result.runs[graph_name][sched] = run
+    return result

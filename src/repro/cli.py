@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``       one (algorithm, dataset, schedule) simulation with stats
+``compare``   every schedule on one workload, speedups over S_vm
+``datasets``  the Table III analog inventory
+``area``      the Table IV area model
+``weaver``    replay the Fig. 6 FSM example
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.algorithms import algorithm_names, make_algorithm
+from repro.bench import format_table, run_schedule_comparison, run_single
+from repro.core import SparseWorkloadTable, WeaverAreaModel, WeaverFSM
+from repro.graph import dataset, dataset_names
+from repro.graph.datasets import dataset_spec
+from repro.graph.metrics import average_degree, degree_skewness
+from repro.sched import ALL_SCHEDULES, EXTENDED_SCHEDULES, schedule_names
+from repro.sim import GPUConfig
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SparseWeaver (HPCA 2025) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="simulate one workload")
+    run_p.add_argument("--algorithm", default="pagerank",
+                       choices=algorithm_names())
+    run_p.add_argument("--dataset", default="hollywood",
+                       choices=dataset_names())
+    run_p.add_argument("--schedule", default="sparseweaver",
+                       choices=schedule_names())
+    run_p.add_argument("--scale", type=float, default=0.25)
+    run_p.add_argument("--iterations", type=int, default=3)
+
+    cmp_p = sub.add_parser("compare", help="all schedules, one workload")
+    cmp_p.add_argument("--algorithm", default="pagerank",
+                       choices=algorithm_names())
+    cmp_p.add_argument("--dataset", default="hollywood",
+                       choices=dataset_names())
+    cmp_p.add_argument("--scale", type=float, default=0.25)
+    cmp_p.add_argument("--iterations", type=int, default=2)
+    cmp_p.add_argument("--extended", action="store_true",
+                       help="include every implemented schedule")
+
+    sub.add_parser("datasets", help="Table III analog inventory")
+
+    area_p = sub.add_parser("area", help="Table IV area model")
+    area_p.add_argument("--cores", type=int, nargs="+", default=[1, 16])
+
+    sub.add_parser("weaver", help="replay the Fig. 6 FSM example")
+
+    rep_p = sub.add_parser(
+        "reproduce",
+        help="re-run a paper experiment by id (e.g. fig10, table5, "
+             "fig13, ablations, microbench)")
+    rep_p.add_argument("experiment", help="experiment id substring")
+    return parser
+
+
+def _make_alg(name: str, iterations: int):
+    if name == "pagerank":
+        return make_algorithm("pagerank", iterations=iterations)
+    if name in ("bfs", "sssp"):
+        return make_algorithm(name, source=0)
+    return make_algorithm(name)
+
+
+def _cmd_run(args) -> int:
+    graph = dataset(args.dataset, scale=args.scale)
+    result = run_single(
+        _make_alg(args.algorithm, args.iterations), graph,
+        args.schedule, config=GPUConfig.vortex_bench(),
+        max_iterations=args.iterations,
+    )
+    print(f"{args.algorithm} on {args.dataset} (analog {graph}) "
+          f"under {args.schedule}:")
+    print(f"  cycles:     {result.stats.total_cycles:,}")
+    print(f"  iterations: {result.iterations}")
+    print("  phases:     " + ", ".join(
+        f"{k}={v}" for k, v in result.stats.phase_breakdown().items()))
+    print("  stalls:     " + ", ".join(
+        f"{k}={v}" for k, v in result.stats.stall_breakdown().items()))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph = dataset(args.dataset, scale=args.scale)
+    schedules = (EXTENDED_SCHEDULES if getattr(args, "extended", False)
+                 else ALL_SCHEDULES)
+    result = run_schedule_comparison(
+        lambda: _make_alg(args.algorithm, args.iterations),
+        {args.dataset: graph}, schedules,
+        config=GPUConfig.vortex_bench(),
+        max_iterations=args.iterations,
+    )
+    speedups = result.speedups()[args.dataset]
+    cycles = result.cycles[args.dataset]
+    rows = [
+        [sched, cycles[sched], round(speedups[sched], 2)]
+        for sched in schedules
+    ]
+    print(format_table(
+        ["schedule", "cycles", "speedup over S_vm"], rows,
+        title=f"{args.algorithm} on {args.dataset} ({graph})"))
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    rows = []
+    for name in dataset_names():
+        spec = dataset_spec(name)
+        g = dataset(name, scale=0.25)
+        rows.append([
+            name, spec.paper_vertices, spec.paper_edges, g.num_vertices,
+            g.num_edges, round(average_degree(g), 1),
+            round(degree_skewness(g), 2),
+        ])
+    print(format_table(
+        ["dataset", "|V| paper", "|E| paper", "|V| analog", "|E| analog",
+         "avg deg", "skew"],
+        rows, title="Table III analogs (scale 0.25)"))
+    return 0
+
+
+def _cmd_area(args) -> int:
+    model = WeaverAreaModel()
+    for cores in args.cores:
+        print(model.utilization_summary(cores))
+    return 0
+
+
+def _cmd_weaver(_args) -> int:
+    st = SparseWorkloadTable(16)
+    st.register(0, vid=0, loc=2, degree=1)
+    st.register(1, vid=2, loc=10, degree=2)
+    st.register(2, vid=4, loc=30, degree=5)
+    fsm = WeaverFSM(st, lanes=4)
+    for request in (1, 2, 3):
+        result = fsm.decode()
+        walk = " -> ".join(s.value for s in result.states)
+        print(f"request {request}: {walk or '(end)'}")
+        print(f"  VIDs {result.vids.tolist()}  EIDs {result.eids.tolist()}")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    """Run the matching benchmark module(s) under pytest."""
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    matches = sorted(bench_dir.glob(f"bench_*{args.experiment}*.py"))
+    if not matches:
+        available = sorted(
+            p.stem.replace("bench_", "") for p in
+            bench_dir.glob("bench_*.py")
+        )
+        print(f"no benchmark matches {args.experiment!r}; available: "
+              + ", ".join(available))
+        return 1
+    cmd = [sys.executable, "-m", "pytest", "--benchmark-only", "-q",
+           "-s"] + [str(p) for p in matches]
+    return subprocess.call(cmd)
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "datasets": _cmd_datasets,
+    "area": _cmd_area,
+    "weaver": _cmd_weaver,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

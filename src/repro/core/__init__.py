@@ -1,0 +1,43 @@
+"""SparseWeaver's primary contribution: the Weaver hardware unit.
+
+* :mod:`repro.core.fsm` — the S0..S8 finite state machine of Fig. 6,
+  pure logic, unit-testable against the paper's worked example.
+* :mod:`repro.core.tables` — Sparse Workload Information Table (ST) and
+  Dense Work ID Table (DT).
+* :mod:`repro.core.unit` — the timed per-core unit the simulator talks
+  to through the four ``WEAVER_*`` instructions.
+* :mod:`repro.core.isa` — RISC-V custom-opcode encodings of Table II.
+* :mod:`repro.core.eghw` — the edge-generating-hardware baseline of
+  Case Study 1 (an SCU/GraphPEG stand-in).
+* :mod:`repro.core.area` — the analytic FPGA area model behind Table IV.
+"""
+
+from repro.core.tables import STEntry, SparseWorkloadTable, DenseWorkIDTable
+from repro.core.fsm import WeaverFSM, WeaverState, DecodeResult
+from repro.core.unit import WeaverUnit
+from repro.core.eghw import EGHWUnit, EdgeBatch
+from repro.core.isa import (
+    WEAVER_INSTRUCTIONS,
+    InstructionSpec,
+    encode_r_type,
+    decode_r_type,
+)
+from repro.core.area import WeaverAreaModel, AreaReport
+
+__all__ = [
+    "STEntry",
+    "SparseWorkloadTable",
+    "DenseWorkIDTable",
+    "WeaverFSM",
+    "WeaverState",
+    "DecodeResult",
+    "WeaverUnit",
+    "EGHWUnit",
+    "EdgeBatch",
+    "WEAVER_INSTRUCTIONS",
+    "InstructionSpec",
+    "encode_r_type",
+    "decode_r_type",
+    "WeaverAreaModel",
+    "AreaReport",
+]

@@ -1,0 +1,191 @@
+"""Edge-Generating HardWare (EGHW) baseline — Case Study 1 (Fig. 18).
+
+EGHW models the SCU / GraphPEG family: a per-core accelerator that takes
+vertex ids from a shared-memory buffer, *itself* reads graph topology and
+edge information from the memory hierarchy, and writes complete edge
+records back to a shared-memory buffer for the GPU to consume.
+
+The decisive difference from Weaver: EGHW performs its own memory reads
+serially on its private timeline, so it cannot hide memory latency
+behind warp-level parallelism, and it needs extra shared-memory traffic
+to stage the generated edge records — the two effects the paper blames
+for SparseWeaver's 3.64x advantage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.config import GPUConfig
+from repro.sim.instructions import Op
+from repro.sim.memory import MemoryHierarchy, Region
+
+
+@dataclass
+class EdgeBatch:
+    """One warp-wide batch of generated edge records."""
+
+    vids: np.ndarray
+    eids: np.ndarray
+    others: np.ndarray   # opposite endpoint of each edge
+    weights: np.ndarray
+    mask: np.ndarray
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the batch carries no work (unit drained)."""
+        return not bool(self.mask.any())
+
+
+class EGHWUnit:
+    """Per-core edge-generating hardware with a serial memory timeline."""
+
+    def __init__(
+        self,
+        core_id: int,
+        config: GPUConfig,
+        memory: MemoryHierarchy,
+        row_ptr_region: Region,
+        col_region: Region,
+        weight_region: Region,
+        row_ptr: np.ndarray,
+        col_idx: np.ndarray,
+        weights: np.ndarray,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config
+        self.memory = memory
+        self.row_ptr_region = row_ptr_region
+        self.col_region = col_region
+        self.weight_region = weight_region
+        self.row_ptr = row_ptr
+        self.col_idx = col_idx
+        self.weights = weights
+        self.lanes = config.threads_per_warp
+        self._inputs: List[int] = []
+        self._records: List[Tuple[int, int, int, float]] = []
+        self._record_ready: List[int] = []
+        self._next_input = 0
+        self._unit_time = 0
+        self._free_at = 0
+        self.edges_generated = 0
+
+    # ------------------------------------------------------------------
+    # Simulator unit protocol
+    # ------------------------------------------------------------------
+    def handle(
+        self, op: Op, warp_slot: int, now: int, payload: Any
+    ) -> Tuple[int, Any]:
+        """Serve EGHW_PUSH / EGHW_FETCH; returns ``(done_time, response)``."""
+        start = max(now, self._free_at)
+        if op == Op.EGHW_PUSH:
+            # GPU writes vertex ids into the unit's shared-memory buffer.
+            vids = [int(v) for v in payload]
+            self._inputs.extend(vids)
+            done = start + self.config.shmem_latency
+            self._unit_time = max(self._unit_time, done)
+            self._free_at = done
+            return done, None
+        if op == Op.EGHW_FETCH:
+            batch, ready = self._fetch(start)
+            done = max(start, ready) + self.config.shmem_latency
+            self._free_at = done
+            return done, batch
+        raise SimulationError(f"EGHWUnit cannot handle {op.name}")
+
+    # ------------------------------------------------------------------
+    def _produce_one(self) -> bool:
+        """Generate records for the next input vertex; False when drained.
+
+        The unit keeps ``eghw_mlp`` memory requests in flight (a small
+        fixed MSHR budget), so its serial timeline advances by
+        ``latency / mlp`` per access — better than fully serial, but far
+        from the GPU pipeline's warp-level hiding, which is the paper's
+        point in Case Study 1.
+        """
+        cfg = self.config
+        mlp = max(1, cfg.eghw_mlp)
+        while self._next_input < len(self._inputs):
+            vid = self._inputs[self._next_input]
+            self._next_input += 1
+            # Shared-memory read of the vid buffer.
+            self._unit_time += cfg.shmem_latency
+            # Topology read: row_ptr[vid], row_ptr[vid+1].
+            lat, _ = self.memory.access(
+                self.core_id,
+                self.row_ptr_region,
+                np.asarray([vid, vid + 1], dtype=np.int64),
+                now=self._unit_time,
+            )
+            self._unit_time += -(-lat // mlp)
+            start, end = int(self.row_ptr[vid]), int(self.row_ptr[vid + 1])
+            if start == end:
+                continue
+            # Edge-information reads, one warp-width chunk at a time.
+            for chunk_start in range(start, end, self.lanes):
+                chunk = np.arange(
+                    chunk_start, min(chunk_start + self.lanes, end),
+                    dtype=np.int64,
+                )
+                lat, _ = self.memory.access(self.core_id, self.col_region,
+                                            chunk, now=self._unit_time)
+                self._unit_time += -(-lat // mlp)
+                lat, _ = self.memory.access(
+                    self.core_id, self.weight_region, chunk,
+                    now=self._unit_time,
+                )
+                self._unit_time += -(-lat // mlp)
+                # Stage each record into the shared-memory output buffer.
+                self._unit_time += cfg.shmem_latency
+                for eid in chunk.tolist():
+                    self._records.append(
+                        (vid, eid, int(self.col_idx[eid]),
+                         float(self.weights[eid]))
+                    )
+                    self._record_ready.append(self._unit_time)
+                    self.edges_generated += 1
+            return True
+        return False
+
+    def _fetch(self, now: int) -> Tuple[EdgeBatch, int]:
+        """Return up to one warp of records and their availability time."""
+        self._unit_time = max(self._unit_time, now)
+        while (
+            len(self._records) < self.lanes
+            and self._next_input < len(self._inputs)
+        ):
+            self._produce_one()
+        take = min(self.lanes, len(self._records))
+        vids = np.full(self.lanes, -1, dtype=np.int64)
+        eids = np.full(self.lanes, -1, dtype=np.int64)
+        others = np.full(self.lanes, -1, dtype=np.int64)
+        weights = np.zeros(self.lanes, dtype=np.float64)
+        ready = now
+        for i in range(take):
+            vid, eid, other, w = self._records[i]
+            vids[i] = vid
+            eids[i] = eid
+            others[i] = other
+            weights[i] = w
+            ready = max(ready, self._record_ready[i])
+        del self._records[:take]
+        del self._record_ready[:take]
+        mask = vids >= 0
+        return EdgeBatch(vids, eids, others, weights, mask), ready
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear buffers for a new epoch."""
+        self._inputs.clear()
+        self._records.clear()
+        self._record_ready.clear()
+        self._next_input = 0
+
+    @property
+    def drained(self) -> bool:
+        """True when every pushed vertex's edges have been fetched."""
+        return not self._records and self._next_input >= len(self._inputs)

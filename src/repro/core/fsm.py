@@ -1,0 +1,247 @@
+"""The Weaver finite state machine (paper Fig. 6).
+
+State roles, matching the figure:
+
+* ``S0 INIT`` — idle; entered on reset / new registration epoch.
+* ``S1 LOAD_FIRST`` — load the first ST entry into the CED buffer.
+* ``S2 DECODE`` — fill Output Data (OD) slots from the CED.
+* ``S3 FETCH`` — advance the ST scan cursor (low-degree path
+  ``S3 -> S4 -> S2``).
+* ``S4 UPDATE_CED`` — latch the fetched entry into the CED.
+* ``S5 UPDATE_DT`` — OD full: write the warp's EID row to the DT
+  (high-degree entries refill OD repeatedly via ``S5 -> S6 -> S2``).
+* ``S6 WAIT`` — wait for the next decode request.
+* ``S7 DRAIN`` — ST exhausted: flush a partial OD.
+* ``S8 END`` — all work distributed; requests return -1 rows.
+
+Each visited state costs one FSM cycle; ST reads additionally cost the
+table-read latency, charged by the timed wrapper in
+:mod:`repro.core.unit` (this module is pure logic so tests can replay
+the paper's worked example cycle by cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.errors import WeaverError
+from repro.core.tables import STEntry, SparseWorkloadTable
+
+
+class WeaverState(Enum):
+    """FSM states S0..S8 of Fig. 6."""
+
+    INIT = "S0"
+    LOAD_FIRST = "S1"
+    DECODE = "S2"
+    FETCH = "S3"
+    UPDATE_CED = "S4"
+    UPDATE_DT = "S5"
+    WAIT = "S6"
+    DRAIN = "S7"
+    END = "S8"
+
+
+@dataclass
+class DecodeResult:
+    """What one ``WEAVER_DEC_ID`` request produced.
+
+    ``vids``/``eids`` are lane-wide arrays padded with -1; ``mask`` marks
+    lanes holding valid work (the hardware thread-activation clue).
+    ``fsm_cycles`` counts states visited and ``st_reads`` counts ST
+    fetches — the timed unit converts both into latency.
+    """
+
+    vids: np.ndarray
+    eids: np.ndarray
+    mask: np.ndarray
+    fsm_cycles: int
+    st_reads: int
+    states: List[WeaverState] = field(default_factory=list)
+
+    @property
+    def exhausted(self) -> bool:
+        """True when every lane returned -1 (distribution-loop exit)."""
+        return not bool(self.mask.any())
+
+    @property
+    def work_count(self) -> int:
+        """Number of valid lanes."""
+        return int(self.mask.sum())
+
+
+class _CED:
+    """Current Entry Data buffer: the in-flight ST entry."""
+
+    __slots__ = ("vid", "cursor", "remaining")
+
+    def __init__(self, entry: STEntry) -> None:
+        self.vid = entry.vid
+        self.cursor = entry.loc
+        self.remaining = entry.degree
+
+    def take(self, count: int) -> List[tuple]:
+        taken = [
+            (self.vid, self.cursor + i) for i in range(min(count, self.remaining))
+        ]
+        self.cursor += len(taken)
+        self.remaining -= len(taken)
+        return taken
+
+
+class WeaverFSM:
+    """Pure-logic Weaver FSM over an ST scan.
+
+    Zero-degree entries (filtered vertices, or vertices hit by
+    ``WEAVER_SKIP`` before their entry is reached) are skipped through a
+    valid bitmap rather than the full S3/S4 fetch path:
+    ``zero_skip_width`` entries of the bitmap are scanned per cycle, so
+    a frontier algorithm whose registration is mostly degree-zero (BFS
+    with a small frontier) does not pay a full entry fetch per idle
+    vertex.
+    """
+
+    #: Bitmap-scan width: zero entries skipped per FSM cycle.
+    zero_skip_width = 32
+
+    def __init__(self, table: SparseWorkloadTable, lanes: int) -> None:
+        if lanes < 1:
+            raise WeaverError("Weaver needs at least one lane")
+        self.table = table
+        self.lanes = lanes
+        self.state = WeaverState.INIT
+        self._entries: List[STEntry] = []
+        self._scan_pos = 0
+        self._ced: Optional[_CED] = None
+        self._od: List[tuple] = []
+        self._skipped: Set[int] = set()
+        self.total_fsm_cycles = 0
+        self.total_st_reads = 0
+
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Back to S0 (called when a new registration epoch begins)."""
+        self.state = WeaverState.INIT
+        self._entries = []
+        self._scan_pos = 0
+        self._ced = None
+        self._od = []
+        self._skipped = set()
+
+    def skip(self, vid: int) -> None:
+        """``WEAVER_SKIP``: stop emitting work items for ``vid``.
+
+        Effective immediately on the CED if it currently holds ``vid``
+        (the supernode mid-decode case the paper motivates with BFS).
+        """
+        self._skipped.add(vid)
+        if self._ced is not None and self._ced.vid == vid:
+            self._ced.remaining = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the FSM has reached S8."""
+        return self.state == WeaverState.END
+
+    # ------------------------------------------------------------------
+    def decode(self) -> DecodeResult:
+        """Serve one decode request: run states until OD is full or the
+        scan ends, then emit the OD as a lane-wide result."""
+        states: List[WeaverState] = []
+        st_reads = 0
+        bitmap_cycles = 0
+
+        def visit(state: WeaverState) -> None:
+            nonlocal st_reads
+            self.state = state
+            states.append(state)
+            if state in (WeaverState.LOAD_FIRST, WeaverState.FETCH):
+                st_reads += 1
+
+        def skip_zeros() -> None:
+            # Advance the scan cursor over zero-degree / skipped entries
+            # via the valid bitmap (zero_skip_width entries per cycle).
+            nonlocal bitmap_cycles
+            skipped = 0
+            while self._scan_pos < len(self._entries):
+                entry = self._entries[self._scan_pos]
+                if entry.degree > 0 and entry.vid not in self._skipped:
+                    break
+                self._scan_pos += 1
+                skipped += 1
+            if skipped:
+                bitmap_cycles += -(-skipped // self.zero_skip_width)
+
+        if self.state == WeaverState.INIT:
+            self._entries = list(self.table.scan())
+            self._scan_pos = 0
+            skip_zeros()
+            visit(WeaverState.LOAD_FIRST)
+            if self._scan_pos < len(self._entries):
+                self._ced = _CED(self._entries[self._scan_pos])
+                self._scan_pos += 1
+                self._apply_skip()
+            else:
+                self._ced = None
+        elif self.state == WeaverState.WAIT:
+            pass  # resume with the current CED at S2
+        elif self.state == WeaverState.END:
+            return self._finish(states, st_reads, 0, end=True)
+
+        # Decode loop: S2 with refills (S3/S4) until OD full or drained.
+        while True:
+            visit(WeaverState.DECODE)
+            if self._ced is not None and self._ced.remaining > 0:
+                self._od.extend(self._ced.take(self.lanes - len(self._od)))
+            if len(self._od) >= self.lanes:
+                visit(WeaverState.UPDATE_DT)
+                visit(WeaverState.WAIT)
+                return self._finish(states, st_reads, bitmap_cycles,
+                                    end=False)
+            skip_zeros()
+            if self._scan_pos < len(self._entries):
+                visit(WeaverState.FETCH)
+                self._ced = _CED(self._entries[self._scan_pos])
+                self._scan_pos += 1
+                self._apply_skip()
+                visit(WeaverState.UPDATE_CED)
+                continue
+            # ST exhausted: drain the partial OD and end.
+            visit(WeaverState.DRAIN)
+            visit(WeaverState.END)
+            return self._finish(states, st_reads, bitmap_cycles, end=True)
+
+    # ------------------------------------------------------------------
+    def _apply_skip(self) -> None:
+        if self._ced is not None and self._ced.vid in self._skipped:
+            self._ced.remaining = 0
+
+    def _finish(
+        self, states: List[WeaverState], st_reads: int,
+        bitmap_cycles: int, end: bool
+    ) -> DecodeResult:
+        vids = np.full(self.lanes, -1, dtype=np.int64)
+        eids = np.full(self.lanes, -1, dtype=np.int64)
+        for i, (vid, eid) in enumerate(self._od):
+            vids[i] = vid
+            eids[i] = eid
+        mask = vids >= 0
+        self._od = []
+        cycles = len(states) + bitmap_cycles
+        if end and not states:
+            # Post-end request: one cycle to answer with -1s.
+            cycles = 1
+        self.total_fsm_cycles += cycles
+        self.total_st_reads += st_reads
+        return DecodeResult(
+            vids=vids,
+            eids=eids,
+            mask=mask,
+            fsm_cycles=cycles,
+            st_reads=st_reads,
+            states=states,
+        )

@@ -1,0 +1,169 @@
+"""RISC-V encodings of the SparseWeaver ISA extension (Table II).
+
+The paper adds four instructions on the Vortex GPU's CUSTOM opcode
+space:
+
+=================  =====  =========  ======  ==============================
+Instruction        IType  Opcode     funct   Description
+=================  =====  =========  ======  ==============================
+``WEAVER_REG``     C      CUSTOM1    1       Register VID, loc, degree
+``WEAVER_DEC_ID``  R      CUSTOM0    7       Return VID of next workload
+``WEAVER_DEC_LOC`` R      CUSTOM0    8       Return EID of next workload
+``WEAVER_SKIP``    C      CUSTOM1    2       Send skip signal using VID
+=================  =====  =========  ======  ==============================
+
+R-type words are ``funct7 | rs2 | rs1 | funct3 | rd | opcode``; the
+CUSTOM ("C") forms reuse the R layout with funct2 in the low bits of
+funct7 and a third source register in its high bits, as the paper
+describes for Vortex. Encoders/decoders below round-trip 32-bit words so
+the compiler layer can emit real instruction bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ConfigError
+
+# Standard RISC-V custom opcode values (7-bit).
+OPCODE_CUSTOM0 = 0x0B
+OPCODE_CUSTOM1 = 0x2B
+
+_OPCODE_NAMES = {OPCODE_CUSTOM0: "CUSTOM0", OPCODE_CUSTOM1: "CUSTOM1"}
+
+
+@dataclass(frozen=True)
+class InstructionSpec:
+    """Mnemonic, format, opcode and function code of one instruction."""
+
+    mnemonic: str
+    itype: str  # "R" or "C"
+    opcode: int
+    funct: int
+    description: str
+
+    @property
+    def opcode_name(self) -> str:
+        """CUSTOM0 / CUSTOM1."""
+        return _OPCODE_NAMES[self.opcode]
+
+
+WEAVER_INSTRUCTIONS: Dict[str, InstructionSpec] = {
+    "WEAVER_REG": InstructionSpec(
+        "WEAVER_REG", "C", OPCODE_CUSTOM1, 1, "Register VID, loc, deg"
+    ),
+    "WEAVER_DEC_ID": InstructionSpec(
+        "WEAVER_DEC_ID", "R", OPCODE_CUSTOM0, 7, "Return VID of next workload"
+    ),
+    "WEAVER_DEC_LOC": InstructionSpec(
+        "WEAVER_DEC_LOC", "R", OPCODE_CUSTOM0, 8, "Return EID of next workload"
+    ),
+    "WEAVER_SKIP": InstructionSpec(
+        "WEAVER_SKIP", "C", OPCODE_CUSTOM1, 2, "Send skip signal using VID"
+    ),
+}
+
+
+def _check_reg(name: str, value: int) -> None:
+    if not 0 <= value < 32:
+        raise ConfigError(f"{name} must be a 5-bit register number, got {value}")
+
+
+def encode_r_type(
+    opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct7: int
+) -> int:
+    """Encode a 32-bit R-type instruction word."""
+    if not 0 <= opcode < 128:
+        raise ConfigError(f"opcode must be 7 bits, got {opcode}")
+    if not 0 <= funct3 < 8:
+        raise ConfigError(f"funct3 must be 3 bits, got {funct3}")
+    if not 0 <= funct7 < 128:
+        raise ConfigError(f"funct7 must be 7 bits, got {funct7}")
+    _check_reg("rd", rd)
+    _check_reg("rs1", rs1)
+    _check_reg("rs2", rs2)
+    return (
+        (funct7 << 25)
+        | (rs2 << 20)
+        | (rs1 << 15)
+        | (funct3 << 12)
+        | (rd << 7)
+        | opcode
+    )
+
+
+def decode_r_type(word: int) -> Dict[str, int]:
+    """Decode a 32-bit R-type word into its fields."""
+    if not 0 <= word < (1 << 32):
+        raise ConfigError("instruction word must fit in 32 bits")
+    return {
+        "opcode": word & 0x7F,
+        "rd": (word >> 7) & 0x1F,
+        "funct3": (word >> 12) & 0x07,
+        "rs1": (word >> 15) & 0x1F,
+        "rs2": (word >> 20) & 0x1F,
+        "funct7": (word >> 25) & 0x7F,
+    }
+
+
+def encode_custom_type(
+    opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct2: int, rs3: int
+) -> int:
+    """Encode the Vortex CUSTOM format: funct2 + a third source register.
+
+    Layout (R4-type, as used by Vortex for 3-source custom ops):
+    ``rs3 | funct2 | rs2 | rs1 | funct3 | rd | opcode``.
+    """
+    if not 0 <= funct2 < 4:
+        raise ConfigError(f"funct2 must be 2 bits, got {funct2}")
+    _check_reg("rs3", rs3)
+    funct7 = (rs3 << 2) | funct2
+    return encode_r_type(opcode, rd, funct3, rs1, rs2, funct7)
+
+
+def decode_custom_type(word: int) -> Dict[str, int]:
+    """Decode the R4-style custom word into fields including rs3/funct2."""
+    fields = decode_r_type(word)
+    funct7 = fields.pop("funct7")
+    fields["funct2"] = funct7 & 0x03
+    fields["rs3"] = funct7 >> 2
+    return fields
+
+
+def encode_weaver(mnemonic: str, rd: int = 0, rs1: int = 0, rs2: int = 0,
+                  rs3: int = 0) -> int:
+    """Encode any Table II instruction by mnemonic."""
+    if mnemonic not in WEAVER_INSTRUCTIONS:
+        raise ConfigError(f"unknown Weaver instruction {mnemonic!r}")
+    spec = WEAVER_INSTRUCTIONS[mnemonic]
+    if spec.itype == "R":
+        # funct values above 7 spill into funct7 (funct3 is 3 bits wide).
+        return encode_r_type(spec.opcode, rd, spec.funct & 0x07, rs1, rs2,
+                             spec.funct >> 3)
+    return encode_custom_type(spec.opcode, rd, spec.funct & 0x07, rs1, rs2,
+                              spec.funct & 0x03, rs3)
+
+
+def identify_weaver(word: int) -> str:
+    """Identify which Table II instruction a word encodes.
+
+    Raises :class:`~repro.errors.ConfigError` for non-Weaver words.
+    """
+    fields = decode_r_type(word)
+    for spec in WEAVER_INSTRUCTIONS.values():
+        if fields["opcode"] != spec.opcode:
+            continue
+        if (
+            spec.itype == "R"
+            and fields["funct3"] == (spec.funct & 0x07)
+            and fields["funct7"] == (spec.funct >> 3)
+        ):
+            return spec.mnemonic
+        if spec.itype == "C":
+            funct2 = fields["funct7"] & 0x03
+            if funct2 == (spec.funct & 0x03) and fields["funct3"] == (
+                spec.funct & 0x07
+            ):
+                return spec.mnemonic
+    raise ConfigError(f"word 0x{word:08x} is not a Weaver instruction")

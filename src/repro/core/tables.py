@@ -1,0 +1,137 @@
+"""The Weaver's two tables: ST and DT.
+
+The *Sparse Workload Information Table* (ST) buffers registration data —
+``(vid, start location, degree)`` triples — indexed by hardware warp id
+and thread id so that scanning entries in index order visits vertices in
+software-thread-id order (the "out-of-order registration, ordered scan"
+design decision of Section III-C).
+
+The *Dense Work ID Table* (DT) holds, per warp, the EID row produced by
+the most recent ``WEAVER_DEC_ID`` so a following ``WEAVER_DEC_LOC`` can
+read it back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+import numpy as np
+
+from repro.errors import WeaverError
+
+
+@dataclass(frozen=True)
+class STEntry:
+    """One registered workload: base vertex, edge-run start, degree."""
+
+    vid: int
+    loc: int
+    degree: int
+
+    def __post_init__(self) -> None:
+        if self.degree < 0:
+            raise WeaverError(f"negative degree {self.degree} for vid {self.vid}")
+        if self.loc < 0:
+            raise WeaverError(f"negative location {self.loc} for vid {self.vid}")
+
+
+class SparseWorkloadTable:
+    """Fixed-capacity ST with index-ordered scan.
+
+    Entries are written at explicit indices (``warp_id * threads_per_warp
+    + thread_id``); unwritten slots are skipped during the scan, which
+    happens when a thread's stride loop has no vertex left to register.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise WeaverError("ST capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: List[Optional[STEntry]] = [None] * capacity
+        self._count = 0
+        self.writes = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def clear(self) -> None:
+        """Drop all entries (new registration epoch)."""
+        self._entries = [None] * self.capacity
+        self._count = 0
+
+    def register(self, index: int, vid: int, loc: int, degree: int) -> None:
+        """Write an entry at ``index``; re-registering a slot is an error
+        within one epoch (each thread owns exactly one slot)."""
+        if not 0 <= index < self.capacity:
+            raise WeaverError(
+                f"ST index {index} out of range [0, {self.capacity}); "
+                "the kernel must chunk registration into epochs"
+            )
+        if self._entries[index] is not None:
+            raise WeaverError(
+                f"ST slot {index} registered twice in one epoch"
+            )
+        self._entries[index] = STEntry(vid, loc, degree)
+        self._count += 1
+        self.writes += 1
+
+    def get(self, index: int) -> Optional[STEntry]:
+        """Entry at ``index`` or None."""
+        if not 0 <= index < self.capacity:
+            raise WeaverError(f"ST index {index} out of range")
+        return self._entries[index]
+
+    def scan(self) -> Iterator[STEntry]:
+        """Iterate registered entries in index (== software thread) order."""
+        for entry in self._entries:
+            if entry is not None:
+                yield entry
+
+    def total_degree(self) -> int:
+        """Sum of registered degrees (total work items this epoch)."""
+        return sum(e.degree for e in self._entries if e is not None)
+
+
+class DenseWorkIDTable:
+    """Per-warp EID rows parked between DEC_ID and DEC_LOC."""
+
+    def __init__(self, num_warps: int, lanes: int) -> None:
+        if num_warps < 1 or lanes < 1:
+            raise WeaverError("DT needs at least one warp and one lane")
+        self.num_warps = num_warps
+        self.lanes = lanes
+        self._rows: Dict[int, np.ndarray] = {}
+        self.writes = 0
+        self.reads = 0
+
+    def write(self, warp_id: int, eids: np.ndarray) -> None:
+        """Store a warp's EID row (padded with -1 for idle lanes)."""
+        self._check_warp(warp_id)
+        eids = np.asarray(eids, dtype=np.int64)
+        if eids.size != self.lanes:
+            raise WeaverError(
+                f"DT row must have {self.lanes} lanes, got {eids.size}"
+            )
+        self._rows[warp_id] = eids.copy()
+        self.writes += 1
+
+    def read(self, warp_id: int) -> np.ndarray:
+        """Read back a warp's EID row; DEC_LOC before DEC_ID is an error."""
+        self._check_warp(warp_id)
+        if warp_id not in self._rows:
+            raise WeaverError(
+                f"warp {warp_id} issued WEAVER_DEC_LOC before WEAVER_DEC_ID"
+            )
+        self.reads += 1
+        return self._rows[warp_id]
+
+    def clear(self) -> None:
+        """Drop all rows (new epoch)."""
+        self._rows.clear()
+
+    def _check_warp(self, warp_id: int) -> None:
+        if not 0 <= warp_id < self.num_warps:
+            raise WeaverError(
+                f"warp id {warp_id} out of range [0, {self.num_warps})"
+            )

@@ -1,0 +1,16 @@
+"""Frontend: the UDF programming model and the graph-processing driver.
+
+Users express an algorithm as the four UDF methods of Section IV (init,
+gather, apply, filter) captured in an :class:`~repro.frontend.udf.Algorithm`
+spec; the :class:`~repro.frontend.framework.GraphProcessor` plays the role
+of the SparseWeaver compiler + runtime — it selects a schedule, generates
+the gather/apply kernels, runs them on the simulator and checks
+convergence. :mod:`repro.frontend.reference` holds pure-numpy oracles for
+the test suite.
+"""
+
+from repro.frontend.udf import Algorithm, Direction
+from repro.frontend.framework import GraphProcessor, RunResult
+from repro.frontend import reference
+
+__all__ = ["Algorithm", "Direction", "GraphProcessor", "RunResult", "reference"]

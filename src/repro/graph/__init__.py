@@ -1,0 +1,63 @@
+"""Graph substrate: storage formats, builders, generators and dataset analogs.
+
+The paper evaluates on CSR-stored real-world graphs. This subpackage
+provides the :class:`~repro.graph.csr.CSRGraph` storage format, edge-list
+builders, synthetic generators that mimic the paper's nine datasets, the
+storage-format interface (``get_neighbor`` / ``get_edge``) used by the
+frontend, and degree/skewness metrics used by the skewness study (Fig. 11).
+"""
+
+from repro.graph.csr import CSRGraph
+from repro.graph.builder import from_edge_list, from_adjacency, to_edge_list
+from repro.graph.generators import (
+    powerlaw_graph,
+    powerlaw_family,
+    rmat_graph,
+    road_grid_graph,
+    dense_community_graph,
+    community_graph,
+    star_graph,
+    chain_graph,
+    complete_graph,
+    random_graph,
+)
+from repro.graph.datasets import DatasetSpec, dataset, dataset_names, PAPER_DATASETS
+from repro.graph.metrics import (
+    degree_skewness,
+    gini_coefficient,
+    degree_histogram,
+    edge_fraction_by_degree,
+)
+from repro.graph.formats import StorageFormatInterface, CSRFormatInterface
+from repro.graph.io import save_npz, load_npz, save_edge_list, load_edge_list
+
+__all__ = [
+    "CSRGraph",
+    "from_edge_list",
+    "from_adjacency",
+    "to_edge_list",
+    "powerlaw_graph",
+    "powerlaw_family",
+    "rmat_graph",
+    "road_grid_graph",
+    "dense_community_graph",
+    "community_graph",
+    "star_graph",
+    "chain_graph",
+    "complete_graph",
+    "random_graph",
+    "DatasetSpec",
+    "dataset",
+    "dataset_names",
+    "PAPER_DATASETS",
+    "degree_skewness",
+    "gini_coefficient",
+    "degree_histogram",
+    "edge_fraction_by_degree",
+    "StorageFormatInterface",
+    "CSRFormatInterface",
+    "save_npz",
+    "load_npz",
+    "save_edge_list",
+    "load_edge_list",
+]

@@ -1,0 +1,158 @@
+"""Builders converting edge lists and adjacency structures to CSR.
+
+All construction funnels through :func:`from_edge_arrays`, which sorts
+edges by (source, destination) so that each vertex's neighbor run is
+contiguous and ordered — the layout the Weaver's ordered scan expects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph, INDEX_DTYPE, WEIGHT_DTYPE
+
+
+def from_edge_arrays(
+    src: np.ndarray,
+    dst: np.ndarray,
+    num_vertices: Optional[int] = None,
+    weights: Optional[np.ndarray] = None,
+    dedupe: bool = False,
+) -> CSRGraph:
+    """Build a CSR graph from parallel source/destination arrays.
+
+    Parameters
+    ----------
+    src, dst:
+        Parallel integer arrays giving directed edges ``src[i] -> dst[i]``.
+    num_vertices:
+        Total vertex count; inferred as ``max(id) + 1`` when omitted.
+    weights:
+        Optional parallel weight array.
+    dedupe:
+        Drop duplicate ``(src, dst)`` pairs, keeping the first weight.
+    """
+    src = np.asarray(src, dtype=INDEX_DTYPE)
+    dst = np.asarray(dst, dtype=INDEX_DTYPE)
+    if src.shape != dst.shape or src.ndim != 1:
+        raise GraphError("src and dst must be 1-D arrays of equal length")
+    if weights is not None:
+        weights = np.asarray(weights, dtype=WEIGHT_DTYPE)
+        if weights.shape != src.shape:
+            raise GraphError("weights must be parallel to src/dst")
+    if src.size and (src.min() < 0 or dst.min() < 0):
+        raise GraphError("vertex ids must be non-negative")
+    if num_vertices is None:
+        num_vertices = int(max(src.max(), dst.max())) + 1 if src.size else 0
+    elif src.size and max(int(src.max()), int(dst.max())) >= num_vertices:
+        raise GraphError(
+            f"edge endpoint exceeds num_vertices={num_vertices}"
+        )
+
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    if weights is not None:
+        weights = weights[order]
+    if dedupe and src.size:
+        keep = np.ones(src.size, dtype=bool)
+        keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+        src, dst = src[keep], dst[keep]
+        if weights is not None:
+            weights = weights[keep]
+
+    counts = np.bincount(src, minlength=num_vertices)
+    row_ptr = np.zeros(num_vertices + 1, dtype=INDEX_DTYPE)
+    np.cumsum(counts, out=row_ptr[1:])
+    return CSRGraph(row_ptr, dst, weights)
+
+
+def from_edge_list(
+    edges: Iterable[Sequence],
+    num_vertices: Optional[int] = None,
+    dedupe: bool = False,
+) -> CSRGraph:
+    """Build a CSR graph from an iterable of ``(src, dst)`` or
+    ``(src, dst, weight)`` tuples."""
+    edge_list = list(edges)
+    if not edge_list:
+        return CSRGraph(
+            np.zeros((num_vertices or 0) + 1, dtype=INDEX_DTYPE),
+            np.zeros(0, dtype=INDEX_DTYPE),
+        )
+    widths = {len(e) for e in edge_list}
+    if widths <= {2}:
+        src, dst = zip(*edge_list)
+        weights = None
+    elif widths <= {3}:
+        src, dst, weights = zip(*edge_list)
+        weights = np.asarray(weights, dtype=WEIGHT_DTYPE)
+    else:
+        raise GraphError(
+            "edges must be uniformly (src, dst) or (src, dst, weight)"
+        )
+    return from_edge_arrays(
+        np.asarray(src), np.asarray(dst), num_vertices, weights, dedupe
+    )
+
+
+def from_adjacency(
+    adjacency: Mapping[int, Sequence[int]],
+    num_vertices: Optional[int] = None,
+) -> CSRGraph:
+    """Build a CSR graph from a ``{vertex: [neighbors]}`` mapping."""
+    src, dst = [], []
+    for u, nbrs in adjacency.items():
+        for v in nbrs:
+            src.append(u)
+            dst.append(v)
+    if num_vertices is None and adjacency:
+        seen = max(adjacency)
+        if dst:
+            seen = max(seen, max(dst))
+        num_vertices = int(seen) + 1
+    return from_edge_arrays(
+        np.asarray(src, dtype=INDEX_DTYPE),
+        np.asarray(dst, dtype=INDEX_DTYPE),
+        num_vertices,
+    )
+
+
+def to_edge_list(graph: CSRGraph) -> list:
+    """Materialize the edge list of a CSR graph as ``(src, dst, weight)``."""
+    return list(graph.edges())
+
+
+def from_networkx(nx_graph, weight_attr: Optional[str] = None) -> CSRGraph:
+    """Convert a ``networkx`` graph (nodes must be integers 0..n-1).
+
+    Undirected networkx graphs are symmetrized, matching the paper's use
+    of symmetric benchmark datasets (Section V-G).
+    """
+    import networkx as nx
+
+    n = nx_graph.number_of_nodes()
+    nodes = sorted(nx_graph.nodes())
+    if nodes != list(range(n)):
+        relabel = {v: i for i, v in enumerate(nodes)}
+        nx_graph = nx.relabel_nodes(nx_graph, relabel)
+    src, dst, weights = [], [], []
+    directed = nx_graph.is_directed()
+    for u, v, data in nx_graph.edges(data=True):
+        w = float(data.get(weight_attr, 1.0)) if weight_attr else 1.0
+        src.append(u)
+        dst.append(v)
+        weights.append(w)
+        if not directed:
+            src.append(v)
+            dst.append(u)
+            weights.append(w)
+    return from_edge_arrays(
+        np.asarray(src, dtype=INDEX_DTYPE),
+        np.asarray(dst, dtype=INDEX_DTYPE),
+        n,
+        np.asarray(weights, dtype=WEIGHT_DTYPE),
+        dedupe=True,
+    )

@@ -1,0 +1,231 @@
+"""Compressed Sparse Row graph storage.
+
+CSR is the storage format the paper's Weaver unit assumes: edges of a
+vertex are stored consecutively in an edge array, and an offset array
+(``row_ptr``) gives, for each vertex, the start of its neighbor run. The
+triple the Weaver registers — (base vertex id, start location, degree) —
+is exactly ``(v, row_ptr[v], row_ptr[v + 1] - row_ptr[v])``.
+
+The class is deliberately a thin, validated wrapper over three numpy
+arrays so that simulator kernels can address the raw arrays directly for
+cache modeling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+
+INDEX_DTYPE = np.int64
+WEIGHT_DTYPE = np.float64
+
+
+class CSRGraph:
+    """A directed graph in Compressed Sparse Row form.
+
+    Parameters
+    ----------
+    row_ptr:
+        Offset array of length ``num_vertices + 1``; monotone
+        non-decreasing, ``row_ptr[0] == 0`` and
+        ``row_ptr[-1] == num_edges``.
+    col_idx:
+        Destination vertex of each edge, length ``num_edges``.
+    weights:
+        Optional per-edge weights, length ``num_edges``. When omitted,
+        unit weights are materialized lazily on first access.
+    """
+
+    __slots__ = ("row_ptr", "col_idx", "_weights", "_reverse")
+
+    def __init__(
+        self,
+        row_ptr: np.ndarray,
+        col_idx: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> None:
+        row_ptr = np.ascontiguousarray(row_ptr, dtype=INDEX_DTYPE)
+        col_idx = np.ascontiguousarray(col_idx, dtype=INDEX_DTYPE)
+        if row_ptr.ndim != 1 or col_idx.ndim != 1:
+            raise GraphError("row_ptr and col_idx must be 1-D arrays")
+        if row_ptr.size == 0:
+            raise GraphError("row_ptr must have at least one entry")
+        if row_ptr[0] != 0:
+            raise GraphError(f"row_ptr[0] must be 0, got {row_ptr[0]}")
+        if row_ptr[-1] != col_idx.size:
+            raise GraphError(
+                f"row_ptr[-1] ({row_ptr[-1]}) must equal the number of "
+                f"edges ({col_idx.size})"
+            )
+        if np.any(np.diff(row_ptr) < 0):
+            raise GraphError("row_ptr must be monotone non-decreasing")
+        n = row_ptr.size - 1
+        if col_idx.size and (col_idx.min() < 0 or col_idx.max() >= n):
+            raise GraphError(
+                f"col_idx entries must lie in [0, {n}), found range "
+                f"[{col_idx.min()}, {col_idx.max()}]"
+            )
+        if weights is not None:
+            weights = np.ascontiguousarray(weights, dtype=WEIGHT_DTYPE)
+            if weights.shape != col_idx.shape:
+                raise GraphError(
+                    f"weights shape {weights.shape} must match col_idx "
+                    f"shape {col_idx.shape}"
+                )
+        self.row_ptr = row_ptr
+        self.col_idx = col_idx
+        self._weights = weights
+        self._reverse: Optional["CSRGraph"] = None
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return self.row_ptr.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return self.col_idx.size
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Per-edge weights; unit weights are created on demand."""
+        if self._weights is None:
+            self._weights = np.ones(self.num_edges, dtype=WEIGHT_DTYPE)
+        return self._weights
+
+    @property
+    def has_weights(self) -> bool:
+        """Whether explicit weights were supplied at construction."""
+        return self._weights is not None
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as a numpy array."""
+        return np.diff(self.row_ptr)
+
+    def degree(self, v: int) -> int:
+        """Out-degree of vertex ``v``."""
+        self._check_vertex(v)
+        return int(self.row_ptr[v + 1] - self.row_ptr[v])
+
+    def neighbor_range(self, v: int) -> Tuple[int, int]:
+        """``(start, end)`` offsets of ``v``'s edges in the edge array.
+
+        This is the exact pair the registration stage computes before
+        issuing ``WEAVER_REG`` (Fig. 9 line 8 of the paper).
+        """
+        self._check_vertex(v)
+        return int(self.row_ptr[v]), int(self.row_ptr[v + 1])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """View of the neighbor vertex ids of ``v``."""
+        start, end = self.neighbor_range(v)
+        return self.col_idx[start:end]
+
+    def edge_weights(self, v: int) -> np.ndarray:
+        """View of the weights of ``v``'s edges."""
+        start, end = self.neighbor_range(v)
+        return self.weights[start:end]
+
+    def _check_vertex(self, v: int) -> None:
+        if not 0 <= v < self.num_vertices:
+            raise GraphError(
+                f"vertex {v} out of range [0, {self.num_vertices})"
+            )
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def reverse(self) -> "CSRGraph":
+        """CSR of the transposed graph (incoming edges become outgoing).
+
+        Pull-direction gathering traverses incoming edges; the framework
+        obtains them from this transpose. The result is cached because
+        the paper's framework builds it once per graph, not per kernel.
+        """
+        if self._reverse is None:
+            n = self.num_vertices
+            counts = np.bincount(self.col_idx, minlength=n)
+            rev_ptr = np.zeros(n + 1, dtype=INDEX_DTYPE)
+            np.cumsum(counts, out=rev_ptr[1:])
+            rev_col = np.empty(self.num_edges, dtype=INDEX_DTYPE)
+            rev_w = np.empty(self.num_edges, dtype=WEIGHT_DTYPE)
+            cursor = rev_ptr[:-1].copy()
+            src_of_edge = self.edge_sources()
+            w = self.weights
+            order = np.argsort(self.col_idx, kind="stable")
+            pos = rev_ptr[:-1].copy()
+            # Stable counting-sort placement keeps each vertex's incoming
+            # edges ordered by source id, which the ordered-scan design
+            # decision relies on.
+            rev_col[:] = src_of_edge[order]
+            rev_w[:] = w[order]
+            del cursor, pos
+            self._reverse = CSRGraph(rev_ptr, rev_col, rev_w)
+            self._reverse._reverse = self
+        return self._reverse
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of each edge, aligned with ``col_idx``.
+
+        Edge mapping (S_em) needs both endpoints of an edge, which is why
+        the paper charges it double edge-memory reads; this array is the
+        second read's target.
+        """
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=INDEX_DTYPE), self.degrees
+        )
+
+    def undirected(self) -> "CSRGraph":
+        """Symmetrized copy: every edge gets its reverse edge added."""
+        src = self.edge_sources()
+        dst = self.col_idx
+        w = self.weights
+        all_src = np.concatenate([src, dst])
+        all_dst = np.concatenate([dst, src])
+        all_w = np.concatenate([w, w])
+        from repro.graph.builder import from_edge_arrays
+
+        return from_edge_arrays(
+            all_src, all_dst, self.num_vertices, weights=all_w, dedupe=True
+        )
+
+    def is_symmetric(self) -> bool:
+        """True when for every edge (u, v) the edge (v, u) also exists."""
+        fwd = set(zip(self.edge_sources().tolist(), self.col_idx.tolist()))
+        return all((v, u) in fwd for (u, v) in fwd)
+
+    # ------------------------------------------------------------------
+    # Iteration and formatting
+    # ------------------------------------------------------------------
+    def edges(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate ``(src, dst, weight)`` triples in CSR order."""
+        w = self.weights
+        src = self.edge_sources()
+        for e in range(self.num_edges):
+            yield int(src[e]), int(self.col_idx[e]), float(w[e])
+
+    def __repr__(self) -> str:
+        return (
+            f"CSRGraph(num_vertices={self.num_vertices}, "
+            f"num_edges={self.num_edges})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRGraph):
+            return NotImplemented
+        return (
+            np.array_equal(self.row_ptr, other.row_ptr)
+            and np.array_equal(self.col_idx, other.col_idx)
+            and np.array_equal(self.weights, other.weights)
+        )
+
+    def __hash__(self) -> int:  # pragma: no cover - identity hashing
+        return id(self)

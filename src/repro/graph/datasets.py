@@ -1,0 +1,163 @@
+"""Scaled synthetic analogs of the paper's nine datasets (Table III).
+
+The paper evaluates on real-world graphs from networkrepository.com with
+up to 229M edges; a pure-Python cycle simulator cannot traverse graphs of
+that size, and this offline environment cannot download them. Each analog
+below preserves the dataset's *shape* — the relation between |V| and |E|,
+the skew of the degree distribution, and the family (dense bio matrix,
+sparse near-regular road network, power-law web/social graph) — at a size
+the simulator handles in seconds. Paper-scale |V|/|E| are recorded on the
+spec for reporting beside the analog's actual size.
+
+The ``scale`` knob multiplies analog sizes for users with more time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+from repro.graph import generators as gen
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table III row: paper-scale facts plus our analog recipe."""
+
+    key: str
+    paper_name: str
+    paper_vertices: int
+    paper_edges: int
+    family: str
+    build: Callable[[float], CSRGraph]
+
+    def instantiate(self, scale: float = 1.0) -> CSRGraph:
+        """Build the analog graph at the given size multiplier."""
+        if scale <= 0:
+            raise GraphError("dataset scale must be positive")
+        return self.build(scale)
+
+
+def _bio_human(scale: float) -> CSRGraph:
+    # 22k vertices, 24.7M edges: tiny |V|, avg degree ~1100, skewed.
+    n = max(64, int(220 * scale))
+    return gen.dense_community_graph(n, avg_degree=max(8, int(90 * scale)),
+                                     hub_boost=60.0, seed=11)
+
+
+def _bio_mouse(scale: float) -> CSRGraph:
+    # 45k vertices, 29M edges: like bio-human but a bit sparser.
+    n = max(64, int(450 * scale))
+    return gen.dense_community_graph(n, avg_degree=max(6, int(55 * scale)),
+                                     hub_boost=50.0, seed=13)
+
+
+def _road_ca(scale: float) -> CSRGraph:
+    # 1.97M vertices, 553k edges in the table: degree ~ 2, regular.
+    side = max(8, int(40 * scale ** 0.5))
+    return gen.road_grid_graph(side, seed=17)
+
+
+def _road_central(scale: float) -> CSRGraph:
+    # 14M vertices, 3.4M edges: the larger road network.
+    side = max(12, int(70 * scale ** 0.5))
+    return gen.road_grid_graph(side, seed=19)
+
+
+def _graph500(scale: float) -> CSRGraph:
+    # 335k vertices, 15.5M edges, RMAT (the actual graph500 generator).
+    sc = max(6, int(8 + scale))
+    return gen.rmat_graph(sc, edge_factor=16, seed=23)
+
+
+def _collab(scale: float) -> CSRGraph:
+    # 372k vertices, 49M edges: dense collaboration network.
+    n = max(128, int(900 * scale))
+    return gen.powerlaw_graph(n, max(512, int(14000 * scale)),
+                              exponent=2.0, seed=29)
+
+
+def _hollywood(scale: float) -> CSRGraph:
+    # 2.18M vertices, 229M edges: the heaviest power-law graph.
+    n = max(256, int(1600 * scale))
+    return gen.powerlaw_graph(n, max(1024, int(24000 * scale)),
+                              exponent=1.9, seed=31)
+
+
+def _web_uk(scale: float) -> CSRGraph:
+    # 130k vertices, 23.5M edges: small |V| dense web crawl.
+    n = max(96, int(400 * scale))
+    return gen.powerlaw_graph(n, max(512, int(10000 * scale)),
+                              exponent=1.95, seed=37)
+
+
+def _web_wiki(scale: float) -> CSRGraph:
+    # 2.94M vertices, 104.7M edges: large sparse-ish power-law graph.
+    n = max(256, int(2400 * scale))
+    return gen.powerlaw_graph(n, max(1024, int(16000 * scale)),
+                              exponent=2.2, seed=41)
+
+
+PAPER_DATASETS: Dict[str, DatasetSpec] = {
+    "bio-human": DatasetSpec(
+        "bio-human", "bio-human-gene1 (D_bh)", 22_284, 24_691_926,
+        "dense-bio", _bio_human),
+    "bio-mouse": DatasetSpec(
+        "bio-mouse", "bio-mouse-gene (D_bm)", 45_102, 29_012_392,
+        "dense-bio", _bio_mouse),
+    "road-ca": DatasetSpec(
+        "road-ca", "roadNet-CA (D_rn)", 1_971_282, 553_321,
+        "road", _road_ca),
+    "road-central": DatasetSpec(
+        "road-central", "road-central (D_rc)", 14_081_817, 3_386_682,
+        "road", _road_central),
+    "graph500": DatasetSpec(
+        "graph500", "graph500-scale19 (D_g500)", 335_319, 15_459_350,
+        "rmat", _graph500),
+    "collab": DatasetSpec(
+        "collab", "COLLAB (D_co)", 372_475, 49_144_316,
+        "powerlaw", _collab),
+    "hollywood": DatasetSpec(
+        "hollywood", "hollywood-2011 (D_hw)", 2_180_653, 228_985_632,
+        "powerlaw", _hollywood),
+    "web-uk": DatasetSpec(
+        "web-uk", "web-uk-2005 (D_uk)", 129_633, 23_488_098,
+        "powerlaw", _web_uk),
+    "web-wiki": DatasetSpec(
+        "web-wiki", "web-wikipedia (D_wk)", 2_936_414, 104_673_033,
+        "powerlaw", _web_wiki),
+}
+
+# Short aliases matching the paper's D_* notation.
+_ALIASES = {
+    "d_bh": "bio-human", "d_bm": "bio-mouse", "d_rn": "road-ca",
+    "d_rc": "road-central", "d_g500": "graph500", "d_co": "collab",
+    "d_hw": "hollywood", "d_uk": "web-uk", "d_wk": "web-wiki",
+}
+
+
+def dataset_names() -> List[str]:
+    """The nine dataset keys in Table III order."""
+    return list(PAPER_DATASETS)
+
+
+def dataset(name: str, scale: float = 1.0) -> CSRGraph:
+    """Instantiate a dataset analog by key or ``D_*`` alias."""
+    key = _ALIASES.get(name.lower(), name)
+    if key not in PAPER_DATASETS:
+        raise GraphError(
+            f"unknown dataset {name!r}; known: {sorted(PAPER_DATASETS)}"
+        )
+    return PAPER_DATASETS[key].instantiate(scale)
+
+
+def dataset_spec(name: str) -> DatasetSpec:
+    """Look up the :class:`DatasetSpec` for a key or alias."""
+    key = _ALIASES.get(name.lower(), name)
+    if key not in PAPER_DATASETS:
+        raise GraphError(
+            f"unknown dataset {name!r}; known: {sorted(PAPER_DATASETS)}"
+        )
+    return PAPER_DATASETS[key]

@@ -1,0 +1,144 @@
+"""Storage-format interface: ``get_neighbor`` and ``get_edge``.
+
+Section IV of the paper defines a two-method storage-format interface the
+frontend compiler programs against, so that Weaver-based kernels work with
+any format that stores a vertex's edges consecutively and exposes an
+offset array (CSR, Tigr, CR2, or the CSR part of a hybrid ELL split).
+
+``get_neighbor(v)`` returns the (start, end) run of a vertex's edges —
+the registration-stage input. ``get_edge(eid)`` returns the
+(src, dst, weight) record for an edge id — the distribution-stage lookup.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.csr import CSRGraph
+
+
+class StorageFormatInterface(ABC):
+    """Abstract storage-format interface consumed by the frontend."""
+
+    @property
+    @abstractmethod
+    def num_vertices(self) -> int:
+        """Number of vertices addressable through this format."""
+
+    @property
+    @abstractmethod
+    def num_edges(self) -> int:
+        """Number of edge records addressable through this format."""
+
+    @abstractmethod
+    def get_neighbor(self, vertex: int) -> Tuple[int, int]:
+        """Return ``(start_eid, end_eid)`` of the vertex's edge run."""
+
+    @abstractmethod
+    def get_edge(self, eid: int) -> Tuple[int, int, float]:
+        """Return ``(src, dst, weight)`` of edge ``eid``."""
+
+
+class CSRFormatInterface(StorageFormatInterface):
+    """The canonical CSR implementation of the format interface."""
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self._graph = graph
+        self._sources = graph.edge_sources()
+
+    @property
+    def graph(self) -> CSRGraph:
+        """The underlying CSR graph."""
+        return self._graph
+
+    @property
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    def get_neighbor(self, vertex: int) -> Tuple[int, int]:
+        return self._graph.neighbor_range(vertex)
+
+    def get_edge(self, eid: int) -> Tuple[int, int, float]:
+        if not 0 <= eid < self.num_edges:
+            raise GraphError(f"edge id {eid} out of range [0, {self.num_edges})")
+        return (
+            int(self._sources[eid]),
+            int(self._graph.col_idx[eid]),
+            float(self._graph.weights[eid]),
+        )
+
+
+class SplitVertexFormatInterface(StorageFormatInterface):
+    """CSR with high-degree vertices split into bounded-degree segments.
+
+    Section III-D notes SparseWeaver "can accommodate non-consecutive
+    labeling by splitting vertices and registering split vertices as
+    separate entries" (the Tigr transformation). This interface exposes
+    the split view: logical vertices whose degree exceeds ``max_degree``
+    appear as several registration entries, all mapping back to the same
+    physical vertex through :meth:`physical_vertex`.
+    """
+
+    def __init__(self, graph: CSRGraph, max_degree: int) -> None:
+        if max_degree < 1:
+            raise GraphError("max_degree must be at least 1")
+        self._graph = graph
+        self._sources = graph.edge_sources()
+        self._max_degree = max_degree
+        starts, ends, owners = [], [], []
+        for v in range(graph.num_vertices):
+            s, e = graph.neighbor_range(v)
+            if s == e:
+                starts.append(s)
+                ends.append(e)
+                owners.append(v)
+                continue
+            for seg in range(s, e, max_degree):
+                starts.append(seg)
+                ends.append(min(seg + max_degree, e))
+                owners.append(v)
+        self._starts = np.asarray(starts, dtype=np.int64)
+        self._ends = np.asarray(ends, dtype=np.int64)
+        self._owners = np.asarray(owners, dtype=np.int64)
+
+    @property
+    def max_degree(self) -> int:
+        """Per-split degree bound."""
+        return self._max_degree
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of *split* vertices (registration entries)."""
+        return self._starts.size
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    def physical_vertex(self, split_id: int) -> int:
+        """Map a split vertex id back to the original vertex id."""
+        if not 0 <= split_id < self.num_vertices:
+            raise GraphError(f"split id {split_id} out of range")
+        return int(self._owners[split_id])
+
+    def get_neighbor(self, split_id: int) -> Tuple[int, int]:
+        if not 0 <= split_id < self.num_vertices:
+            raise GraphError(f"split id {split_id} out of range")
+        return int(self._starts[split_id]), int(self._ends[split_id])
+
+    def get_edge(self, eid: int) -> Tuple[int, int, float]:
+        if not 0 <= eid < self.num_edges:
+            raise GraphError(f"edge id {eid} out of range [0, {self.num_edges})")
+        return (
+            int(self._sources[eid]),
+            int(self._graph.col_idx[eid]),
+            float(self._graph.weights[eid]),
+        )

@@ -1,0 +1,282 @@
+"""Synthetic graph generators mirroring the paper's workload families.
+
+The paper evaluates on nine real-world graphs (Table III) spanning three
+shapes: dense skewed biological networks, sparse near-regular road
+networks, and power-law web/social graphs. These generators produce
+scaled-down analogs of each shape, plus the NetworkX power-law family used
+verbatim by the skewness study (Section V-B / Fig. 11).
+
+All generators are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_arrays
+from repro.graph.csr import CSRGraph, INDEX_DTYPE
+
+
+def _rng(seed: Optional[int]) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def powerlaw_graph(
+    num_vertices: int,
+    num_edges: int,
+    exponent: float = 2.1,
+    seed: Optional[int] = None,
+    symmetric: bool = True,
+) -> CSRGraph:
+    """Power-law degree graph with a fixed edge budget.
+
+    Vertex attractiveness follows ``rank ** -(1 / (exponent - 1))`` (the
+    Zipf form of a power law); edge endpoints are sampled proportionally.
+    This is the configuration-model analog of the NetworkX power-law
+    generator the paper feeds its skewness sweep, but with an exact edge
+    count so families share a fixed |E| while varying |V| — precisely the
+    Fig. 11 setup.
+    """
+    if num_vertices < 2:
+        raise GraphError("powerlaw_graph needs at least 2 vertices")
+    if num_edges < 1:
+        raise GraphError("powerlaw_graph needs at least 1 edge")
+    if exponent <= 1.0:
+        raise GraphError("power-law exponent must exceed 1")
+    rng = _rng(seed)
+    ranks = np.arange(1, num_vertices + 1, dtype=np.float64)
+    attract = ranks ** (-1.0 / (exponent - 1.0))
+    prob = attract / attract.sum()
+    src = rng.choice(num_vertices, size=num_edges, p=prob)
+    dst = rng.integers(0, num_vertices, size=num_edges)
+    # avoid self loops by nudging destinations
+    loops = src == dst
+    dst[loops] = (dst[loops] + 1) % num_vertices
+    if symmetric:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    perm = rng.permutation(num_vertices)
+    return from_edge_arrays(perm[src], perm[dst], num_vertices)
+
+
+def powerlaw_family(
+    vertex_counts: List[int],
+    num_edges: int,
+    exponent: float = 2.1,
+    seed: int = 7,
+) -> List[CSRGraph]:
+    """The G1..Gn family of Fig. 11: fixed |E|, growing |V| and skewness.
+
+    The paper uses 1.9M edges and |V| in {10k, 12k, 16k, 20k, 40k, 80k};
+    callers pass a scaled-down version of those counts.
+    """
+    return [
+        powerlaw_graph(n, num_edges, exponent=exponent, seed=seed + i)
+        for i, n in enumerate(vertex_counts)
+    ]
+
+
+def rmat_graph(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: Optional[int] = None,
+    symmetric: bool = True,
+) -> CSRGraph:
+    """Graph500-style RMAT generator (analog of graph500-scale19).
+
+    ``scale`` gives ``2**scale`` vertices and ``edge_factor * |V|`` edges,
+    recursively placed in quadrants with probabilities (a, b, c, d).
+    """
+    if scale < 1 or scale > 24:
+        raise GraphError("rmat scale must be in [1, 24]")
+    d = 1.0 - a - b - c
+    if d < 0:
+        raise GraphError("RMAT probabilities must sum to at most 1")
+    rng = _rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=INDEX_DTYPE)
+    dst = np.zeros(m, dtype=INDEX_DTYPE)
+    for bit in range(scale):
+        r = rng.random(m)
+        go_right = (r >= a + c) & (r < a + b + c) | (r >= a + b + c)
+        go_down = (r >= a) & (r < a + c) | (r >= a + b + c)
+        # quadrant picks: a=top-left, b=top-right, c=bottom-left, d=bottom-right
+        src |= (go_down.astype(INDEX_DTYPE)) << bit
+        dst |= (go_right.astype(INDEX_DTYPE)) << bit
+    loops = src == dst
+    dst[loops] = (dst[loops] + 1) % n
+    if symmetric:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return from_edge_arrays(src, dst, n, dedupe=True)
+
+
+def road_grid_graph(
+    side: int, seed: Optional[int] = None, drop_fraction: float = 0.05
+) -> CSRGraph:
+    """Near-regular 2-D lattice analog of roadNet-CA / road-central.
+
+    Road networks have huge |V|, tiny average degree (< 3) and almost no
+    skew; a 4-neighbor grid with a few edges dropped reproduces that
+    degree profile.
+    """
+    if side < 2:
+        raise GraphError("road grid needs side >= 2")
+    rng = _rng(seed)
+    n = side * side
+    idx = np.arange(n).reshape(side, side)
+    right_src = idx[:, :-1].ravel()
+    right_dst = idx[:, 1:].ravel()
+    down_src = idx[:-1, :].ravel()
+    down_dst = idx[1:, :].ravel()
+    src = np.concatenate([right_src, down_src])
+    dst = np.concatenate([right_dst, down_dst])
+    if drop_fraction > 0:
+        keep = rng.random(src.size) >= drop_fraction
+        src, dst = src[keep], dst[keep]
+    src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return from_edge_arrays(src, dst, n)
+
+
+def dense_community_graph(
+    num_vertices: int,
+    avg_degree: int,
+    hub_fraction: float = 0.02,
+    hub_boost: float = 40.0,
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Small-|V|, dense, skewed graph analog of bio-human-gene1/bio-mouse.
+
+    The bio graphs have average degree over 600 with heavy hubs. We sample
+    edges with a small fraction of vertices boosted to hub status.
+    """
+    if num_vertices < 2 or avg_degree < 1:
+        raise GraphError("dense_community_graph needs >=2 vertices, degree >=1")
+    rng = _rng(seed)
+    m = num_vertices * avg_degree // 2
+    weights = np.ones(num_vertices)
+    hubs = rng.choice(
+        num_vertices, size=max(1, int(hub_fraction * num_vertices)), replace=False
+    )
+    weights[hubs] = hub_boost
+    prob = weights / weights.sum()
+    src = rng.choice(num_vertices, size=m, p=prob)
+    dst = rng.choice(num_vertices, size=m, p=prob)
+    loops = src == dst
+    dst[loops] = (dst[loops] + 1) % num_vertices
+    src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+    return from_edge_arrays(src, dst, num_vertices, dedupe=True)
+
+
+def community_graph(
+    num_communities: int,
+    community_size: int,
+    intra_edges: int,
+    inter_edges: int,
+    seed: Optional[int] = None,
+) -> CSRGraph:
+    """Planted-community graph with locality-encoding labels.
+
+    Vertices of one community occupy a contiguous id block and most
+    edges stay inside their block, so the *labeling itself* carries the
+    community structure — the property Section V-A notes of the
+    benchmark datasets ("reordered to reveal community structures").
+    Shuffling the labels destroys cache locality without changing the
+    topology; see :mod:`repro.graph.reorder` and the reordering
+    ablation benchmark.
+    """
+    if num_communities < 1 or community_size < 2:
+        raise GraphError(
+            "community graph needs >=1 community of >=2 vertices"
+        )
+    if intra_edges < 1 or inter_edges < 0:
+        raise GraphError("need >=1 intra edge and >=0 inter edges")
+    rng = _rng(seed)
+    n = num_communities * community_size
+    srcs, dsts = [], []
+    for c in range(num_communities):
+        base = c * community_size
+        srcs.append(rng.integers(0, community_size, intra_edges) + base)
+        dsts.append(rng.integers(0, community_size, intra_edges) + base)
+    if inter_edges:
+        srcs.append(rng.integers(0, n, inter_edges))
+        dsts.append(rng.integers(0, n, inter_edges))
+    src = np.concatenate(srcs)
+    dst = np.concatenate(dsts)
+    keep = src != dst
+    src, dst = src[keep], dst[keep]
+    return from_edge_arrays(
+        np.concatenate([src, dst]), np.concatenate([dst, src]), n,
+        dedupe=True,
+    )
+
+
+def star_graph(num_leaves: int) -> CSRGraph:
+    """One hub connected to ``num_leaves`` leaves (maximal imbalance)."""
+    if num_leaves < 1:
+        raise GraphError("star graph needs at least one leaf")
+    hub = np.zeros(num_leaves, dtype=INDEX_DTYPE)
+    leaves = np.arange(1, num_leaves + 1, dtype=INDEX_DTYPE)
+    src = np.concatenate([hub, leaves])
+    dst = np.concatenate([leaves, hub])
+    return from_edge_arrays(src, dst, num_leaves + 1)
+
+
+def chain_graph(num_vertices: int) -> CSRGraph:
+    """A bidirectional path graph (degree <= 2 everywhere)."""
+    if num_vertices < 2:
+        raise GraphError("chain needs at least 2 vertices")
+    a = np.arange(num_vertices - 1, dtype=INDEX_DTYPE)
+    b = a + 1
+    src = np.concatenate([a, b])
+    dst = np.concatenate([b, a])
+    return from_edge_arrays(src, dst, num_vertices)
+
+
+def complete_graph(num_vertices: int) -> CSRGraph:
+    """All-pairs directed graph (perfectly balanced, dense)."""
+    if num_vertices < 2:
+        raise GraphError("complete graph needs at least 2 vertices")
+    src, dst = np.meshgrid(
+        np.arange(num_vertices), np.arange(num_vertices), indexing="ij"
+    )
+    mask = src != dst
+    return from_edge_arrays(src[mask].ravel(), dst[mask].ravel(), num_vertices)
+
+
+def random_graph(
+    num_vertices: int, num_edges: int, seed: Optional[int] = None
+) -> CSRGraph:
+    """Uniform Erdos-Renyi-style random directed graph."""
+    if num_vertices < 2:
+        raise GraphError("random graph needs at least 2 vertices")
+    rng = _rng(seed)
+    src = rng.integers(0, num_vertices, size=num_edges)
+    dst = rng.integers(0, num_vertices, size=num_edges)
+    loops = src == dst
+    dst[loops] = (dst[loops] + 1) % num_vertices
+    return from_edge_arrays(src, dst, num_vertices, dedupe=True)
+
+
+def networkx_powerlaw_graph(
+    num_vertices: int, edges_per_vertex: int, seed: int = 0
+) -> CSRGraph:
+    """The literal NetworkX power-law cluster generator the paper cites.
+
+    Provided for parity with Section V-B, which names "the NetworkX
+    Power-law graph generator"; the faster :func:`powerlaw_graph` is used
+    for large sweeps.
+    """
+    import networkx as nx
+
+    from repro.graph.builder import from_networkx
+
+    g = nx.powerlaw_cluster_graph(
+        num_vertices, max(1, edges_per_vertex), 0.1, seed=seed
+    )
+    return from_networkx(g)

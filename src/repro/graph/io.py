@@ -1,0 +1,117 @@
+"""Graph persistence: NumPy archives and plain edge-list text files.
+
+A reproduction repo gets pointed at people's own graphs sooner or
+later; these helpers cover the two formats that actually occur — a
+compact ``.npz`` for round-tripping CSR exactly, and whitespace
+edge-list text (``src dst [weight]`` per line, ``#`` comments), the
+format networkrepository/SNAP dumps use.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import GraphError
+from repro.graph.builder import from_edge_arrays
+from repro.graph.csr import CSRGraph
+
+PathLike = Union[str, Path]
+
+
+def save_npz(graph: CSRGraph, path: PathLike) -> None:
+    """Write a CSR graph to a ``.npz`` archive."""
+    # Capture the flag before touching .weights (which materializes
+    # lazy unit weights).
+    has_weights = graph.has_weights
+    np.savez_compressed(
+        path,
+        row_ptr=graph.row_ptr,
+        col_idx=graph.col_idx,
+        weights=graph.weights,
+        has_weights=np.asarray([has_weights]),
+    )
+
+
+def load_npz(path: PathLike) -> CSRGraph:
+    """Load a CSR graph written by :func:`save_npz`."""
+    try:
+        data = np.load(path)
+    except (OSError, ValueError) as exc:
+        raise GraphError(f"cannot read graph archive {path}: {exc}")
+    for key in ("row_ptr", "col_idx"):
+        if key not in data:
+            raise GraphError(f"{path} is missing array {key!r}")
+    weights = None
+    if "weights" in data and bool(data.get("has_weights", [True])[0]):
+        weights = data["weights"]
+    return CSRGraph(data["row_ptr"], data["col_idx"], weights)
+
+
+def save_edge_list(graph: CSRGraph, path: PathLike,
+                   include_weights: bool = None) -> None:
+    """Write ``src dst [weight]`` lines (weights only when explicit)."""
+    if include_weights is None:
+        include_weights = graph.has_weights
+    with open(path, "w") as fh:
+        fh.write(f"# vertices {graph.num_vertices} "
+                 f"edges {graph.num_edges}\n")
+        for src, dst, w in graph.edges():
+            if include_weights:
+                fh.write(f"{src} {dst} {w}\n")
+            else:
+                fh.write(f"{src} {dst}\n")
+
+
+def load_edge_list(path: PathLike,
+                   num_vertices: int = None) -> CSRGraph:
+    """Parse ``src dst [weight]`` text; ``#`` lines are comments.
+
+    A ``# vertices N ...`` header (as written by
+    :func:`save_edge_list`) fixes the vertex count for graphs with
+    isolated trailing vertices.
+    """
+    srcs, dsts, weights = [], [], []
+    saw_weight = False
+    header_vertices = None
+    with open(path) as fh:
+        for lineno, raw in enumerate(fh, 1):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                tokens = line[1:].split()
+                if len(tokens) >= 2 and tokens[0] == "vertices":
+                    try:
+                        header_vertices = int(tokens[1])
+                    except ValueError:
+                        pass
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(
+                    f"{path}:{lineno}: expected 'src dst [weight]', "
+                    f"got {line!r}"
+                )
+            try:
+                srcs.append(int(parts[0]))
+                dsts.append(int(parts[1]))
+            except ValueError:
+                raise GraphError(
+                    f"{path}:{lineno}: vertex ids must be integers"
+                )
+            if len(parts) == 3:
+                saw_weight = True
+                weights.append(float(parts[2]))
+            else:
+                weights.append(1.0)
+    n = num_vertices if num_vertices is not None else header_vertices
+    return from_edge_arrays(
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        n,
+        np.asarray(weights) if saw_weight else None,
+    )

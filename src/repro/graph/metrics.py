@@ -1,0 +1,77 @@
+"""Degree-distribution metrics used by the skewness study (Fig. 11).
+
+The paper quantifies "skewness" per Zwillinger & Kokoska [54]: the
+standardized third moment of the degree distribution. Higher skewness
+means a longer hub tail, which is what defeats vertex mapping.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+def degree_skewness(graph: CSRGraph) -> float:
+    """Sample skewness (g1) of the out-degree distribution.
+
+    Returns 0.0 for degenerate distributions (constant degree), matching
+    the convention that a regular graph has no skew.
+    """
+    deg = graph.degrees.astype(np.float64)
+    if deg.size == 0:
+        return 0.0
+    mu = deg.mean()
+    sigma = deg.std()
+    if sigma == 0.0:
+        return 0.0
+    return float(np.mean(((deg - mu) / sigma) ** 3))
+
+
+def gini_coefficient(graph: CSRGraph) -> float:
+    """Gini coefficient of the degree distribution (0 = balanced)."""
+    deg = np.sort(graph.degrees.astype(np.float64))
+    n = deg.size
+    if n == 0 or deg.sum() == 0:
+        return 0.0
+    index = np.arange(1, n + 1)
+    return float((2 * (index * deg).sum()) / (n * deg.sum()) - (n + 1) / n)
+
+
+def degree_histogram(graph: CSRGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """``(degrees, counts)`` of the out-degree distribution.
+
+    This is the x/y data of Fig. 11a's degree-distribution panel.
+    """
+    deg = graph.degrees
+    values, counts = np.unique(deg, return_counts=True)
+    return values, counts
+
+
+def edge_fraction_by_degree(graph: CSRGraph) -> Tuple[np.ndarray, np.ndarray]:
+    """``(degrees, fraction_of_edges)`` — the "edge fraction tail".
+
+    Fig. 11a plots what fraction of all edges is owned by vertices of
+    each degree; a long tail means a few hubs own most edges.
+    """
+    deg = graph.degrees
+    values, counts = np.unique(deg, return_counts=True)
+    total = graph.num_edges
+    if total == 0:
+        return values, np.zeros_like(values, dtype=np.float64)
+    return values, (values * counts) / float(total)
+
+
+def max_degree(graph: CSRGraph) -> int:
+    """Largest out-degree (the supernode the skip signal targets)."""
+    deg = graph.degrees
+    return int(deg.max()) if deg.size else 0
+
+
+def average_degree(graph: CSRGraph) -> float:
+    """Mean out-degree."""
+    if graph.num_vertices == 0:
+        return 0.0
+    return graph.num_edges / graph.num_vertices

@@ -1,0 +1,56 @@
+"""Scheduling schemes: software baselines, SparseWeaver, and EGHW.
+
+Each schedule turns an algorithm + graph into a gather-kernel warp
+factory for the simulator. Names follow the paper:
+
+* ``vertex_map`` (S_vm) — naive one-vertex-per-thread mapping.
+* ``edge_map`` (S_em) — one-edge-per-thread; double edge memory reads.
+* ``warp_map`` (S_wm) — warp-level sharing with prefix sum + binary
+  search in shared memory (Meng et al.).
+* ``cta_map`` (S_cm) — block-level sharing with a block-wide scan.
+* ``sparseweaver`` — the paper's hardware/software co-design.
+* ``eghw`` — the edge-generating-hardware baseline of Case Study 1.
+"""
+
+from repro.sched.base import KernelEnv, Schedule
+from repro.sched.vertex_map import VertexMapSchedule
+from repro.sched.edge_map import EdgeMapSchedule
+from repro.sched.warp_map import WarpMapSchedule
+from repro.sched.cta_map import CTAMapSchedule
+from repro.sched.sparseweaver import SparseWeaverSchedule
+from repro.sched.split_vertex import SplitVertexMapSchedule
+from repro.sched.twc import TWCSchedule
+from repro.sched.strict import StrictSchedule
+from repro.sched.twce import TWCESchedule
+from repro.sched.hybrid_ell import HybridELLSchedule
+from repro.sched.eghw_sched import EGHWSchedule
+from repro.sched.registry import (
+    SOFTWARE_SCHEDULES,
+    ALL_SCHEDULES,
+    EXTENDED_SCHEDULES,
+    make_schedule,
+    schedule_names,
+)
+from repro.sched import analytic
+
+__all__ = [
+    "KernelEnv",
+    "Schedule",
+    "VertexMapSchedule",
+    "EdgeMapSchedule",
+    "WarpMapSchedule",
+    "CTAMapSchedule",
+    "SparseWeaverSchedule",
+    "SplitVertexMapSchedule",
+    "TWCSchedule",
+    "StrictSchedule",
+    "TWCESchedule",
+    "HybridELLSchedule",
+    "EGHWSchedule",
+    "SOFTWARE_SCHEDULES",
+    "ALL_SCHEDULES",
+    "EXTENDED_SCHEDULES",
+    "make_schedule",
+    "schedule_names",
+    "analytic",
+]

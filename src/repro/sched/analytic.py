@@ -1,0 +1,192 @@
+"""Closed-form scheduling analysis: Fig. 2a and Table I.
+
+``expected_warp_iterations`` computes, from the degree array alone, how
+many lockstep gather rounds each scheme needs — the metric of Fig. 2a.
+``scheme_characteristics`` reproduces Table I's qualitative/arithmetic
+comparison for a given graph and configuration, including the schemes
+the simulator does not execute (S_twc, S_twce, S_strict), whose rows
+the paper specifies directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ScheduleError
+from repro.graph.csr import CSRGraph
+from repro.sim.config import GPUConfig
+
+
+def _chunk_pad(values: np.ndarray, width: int) -> np.ndarray:
+    """Pad to a multiple of ``width`` and reshape to (chunks, width)."""
+    pad = (-values.size) % width
+    if pad:
+        values = np.concatenate([values, np.zeros(pad, dtype=values.dtype)])
+    return values.reshape(-1, width)
+
+
+def expected_warp_iterations(
+    graph: CSRGraph,
+    schedule: str,
+    config: Optional[GPUConfig] = None,
+    split_degree: int = 8,
+) -> int:
+    """Total lockstep gather rounds summed over all warps (Fig. 2a).
+
+    * ``vertex_map`` — each warp's rounds equal the max degree among its
+      lanes; consecutive vertex ids map to consecutive lanes.
+    * ``edge_map`` / ``strict`` — edges are dealt out evenly:
+      ``ceil(|E| / T)``.
+    * ``warp_map`` — each warp handles its lanes' combined degree:
+      ``sum(ceil(warp_total / T))``.
+    * ``cta_map`` / ``sparseweaver`` — block-level pooling:
+      ``sum(ceil(block_total / T))`` over blocks of ``W*T`` vertices.
+    * ``split_vertex_map`` — vertex mapping after Tigr splitting at
+      ``split_degree``: rounds bounded by the split width.
+    """
+    cfg = config or GPUConfig.vortex_paper()
+    lanes = cfg.threads_per_warp
+    deg = graph.degrees.astype(np.int64)
+    if deg.size == 0:
+        return 0
+    if schedule in ("vertex_map", "svm", "s_vm"):
+        chunks = _chunk_pad(deg, lanes)
+        return int(chunks.max(axis=1).sum())
+    if schedule in ("edge_map", "sem", "s_em", "strict", "s_strict"):
+        return math.ceil(graph.num_edges / lanes)
+    if schedule in ("warp_map", "swm", "s_wm"):
+        chunks = _chunk_pad(deg, lanes)
+        return int(np.ceil(chunks.sum(axis=1) / lanes).sum())
+    if schedule in ("cta_map", "scm", "s_cm", "sparseweaver", "sw"):
+        block = lanes * cfg.warps_per_core
+        chunks = _chunk_pad(deg, block)
+        return int(np.ceil(chunks.sum(axis=1) / lanes).sum())
+    if schedule in ("split_vertex_map", "tigr"):
+        if split_degree < 1:
+            raise ScheduleError("split_degree must be at least 1")
+        pieces = np.ceil(deg / split_degree).astype(np.int64)
+        split_degs = []
+        for d, count in zip(deg, pieces):
+            if count == 0:
+                continue
+            full, rest = divmod(int(d), split_degree)
+            split_degs.extend([split_degree] * full)
+            if rest:
+                split_degs.append(rest)
+        if not split_degs:
+            return 0
+        chunks = _chunk_pad(np.asarray(split_degs, dtype=np.int64), lanes)
+        return int(chunks.max(axis=1).sum())
+    raise ScheduleError(f"no warp-iteration model for schedule {schedule!r}")
+
+
+def imbalance_factor(graph: CSRGraph, config: Optional[GPUConfig] = None) -> float:
+    """S_vm rounds over the balanced optimum — how much naive mapping
+    loses to skew (1.0 = already balanced)."""
+    cfg = config or GPUConfig.vortex_paper()
+    naive = expected_warp_iterations(graph, "vertex_map", cfg)
+    ideal = expected_warp_iterations(graph, "edge_map", cfg)
+    return naive / ideal if ideal else 1.0
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SchemeCharacteristics:
+    """One Table I column, with |V|/|E|/|B| symbols evaluated."""
+
+    name: str
+    sharing_granularity: str
+    imbalance: str
+    edge_mem_access: int
+    shared_mem: int
+    global_mem: int
+    registration_complexity: str
+    registration_costs: str   # (sync, add kernel, #atomics, #warp shfl)
+    distribution_complexity: str
+    distribution_costs: str   # (#binary search, #atomics, #sync)
+    edge_access_locality: str
+
+
+def scheme_characteristics(
+    graph: CSRGraph, config: Optional[GPUConfig] = None
+) -> List[SchemeCharacteristics]:
+    """Evaluate Table I for a concrete graph/configuration."""
+    cfg = config or GPUConfig.vortex_paper()
+    v = graph.num_vertices
+    e = graph.num_edges
+    b = cfg.warps_per_core * cfg.threads_per_warp
+    alpha_e = max(1, e // 10)  # the paper's alpha|E| for S_twce
+    rows = [
+        SchemeCharacteristics(
+            "S_vm", "Thread", "high", 2 * v + e, 0, 0,
+            "low", "0, 0, 0, 0", "low", "0, 0, 0", "low"),
+        SchemeCharacteristics(
+            "S_em", "Kernel", "low", 2 * e, 0, 0,
+            "low", "0, 0, 0, 0", "low", "0, 0, 0", "high"),
+        SchemeCharacteristics(
+            "S_wm", "Warp", "mid", 2 * v + e, 3 * b, 0,
+            "mid", "1, 0, 0, 6", "high", f"{e}, 0, 0", "mid"),
+        SchemeCharacteristics(
+            "S_cm", "Block", "low", 2 * v + e, 3 * b, 0,
+            "mid", "17, 0, 0, 15", "high", f"{e}, 0, 0", "high"),
+        SchemeCharacteristics(
+            "S_twc", "T, W, B", "low", 2 * v + e, 3 * b, 3 * v,
+            "high", f"1, 0, {3 * v}, 6", "high", f"{e}, 0, 0", "mid"),
+        SchemeCharacteristics(
+            "S_twce", "T, W, B", "mid", 2 * v + e, 6 * b, 0,
+            "high", f"1, 3, {2 * v}, 0", "high",
+            f"0, {alpha_e}, {alpha_e}", "mid"),
+        SchemeCharacteristics(
+            "S_strict", "Kernel", "low", 2 * v + e, 3 * b, 3 * v,
+            "high", "17, 3, 0, 15", "mid", f"{e}, 0, 0", "high"),
+        SchemeCharacteristics(
+            "SparseWeaver", "Block", "low", 2 * v + e, 4 * b, 0,
+            "low", "1, 0, 0, 0", "low", "0, 0, 0", "high"),
+    ]
+    return rows
+
+
+def characteristics_table(
+    graph: CSRGraph, config: Optional[GPUConfig] = None
+) -> str:
+    """Render Table I as aligned text."""
+    rows = scheme_characteristics(graph, config)
+    headers = [
+        "Scheme", "Granularity", "Imbalance", "EdgeMem", "SharedMem",
+        "GlobalMem", "RegCmplx", "RegCosts", "DistCmplx", "DistCosts",
+        "Locality",
+    ]
+    table: List[List[str]] = [headers]
+    for r in rows:
+        table.append([
+            r.name, r.sharing_granularity, r.imbalance,
+            str(r.edge_mem_access), str(r.shared_mem), str(r.global_mem),
+            r.registration_complexity, r.registration_costs,
+            r.distribution_complexity, r.distribution_costs,
+            r.edge_access_locality,
+        ])
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in table
+    ]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def memory_access_counts(graph: CSRGraph) -> Dict[str, int]:
+    """Edge-memory access totals per scheme (the Table I row alone)."""
+    v, e = graph.num_vertices, graph.num_edges
+    return {
+        "vertex_map": 2 * v + e,
+        "edge_map": 2 * e,
+        "warp_map": 2 * v + e,
+        "cta_map": 2 * v + e,
+        "sparseweaver": 2 * v + e,
+    }

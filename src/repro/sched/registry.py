@@ -1,0 +1,90 @@
+"""Schedule registry: name -> Schedule instance."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.errors import ScheduleError
+from repro.sched.base import Schedule
+from repro.sched.cta_map import CTAMapSchedule
+from repro.sched.edge_map import EdgeMapSchedule
+from repro.sched.eghw_sched import EGHWSchedule
+from repro.sched.hybrid_ell import HybridELLSchedule
+from repro.sched.sparseweaver import SparseWeaverSchedule
+from repro.sched.split_vertex import SplitVertexMapSchedule
+from repro.sched.strict import StrictSchedule
+from repro.sched.twc import TWCSchedule
+from repro.sched.twce import TWCESchedule
+from repro.sched.vertex_map import VertexMapSchedule
+from repro.sched.warp_map import WarpMapSchedule
+
+#: The four software baselines of Fig. 10, in paper order.
+SOFTWARE_SCHEDULES: List[str] = [
+    "vertex_map",
+    "edge_map",
+    "warp_map",
+    "cta_map",
+]
+
+#: Everything the paper evaluates in Fig. 10, plus the two hardware
+#: schemes of the case studies.
+ALL_SCHEDULES: List[str] = SOFTWARE_SCHEDULES + ["sparseweaver", "eghw"]
+
+#: Every implemented schedule, including the Table I schemes the paper
+#: only tabulates (S_twc, S_twce, S_strict) and the Tigr-style splits.
+EXTENDED_SCHEDULES: List[str] = ALL_SCHEDULES + [
+    "twc", "twce", "strict", "split_vertex_map", "hybrid_ell",
+]
+
+_FACTORIES: Dict[str, type] = {
+    "vertex_map": VertexMapSchedule,
+    "edge_map": EdgeMapSchedule,
+    "warp_map": WarpMapSchedule,
+    "cta_map": CTAMapSchedule,
+    "sparseweaver": SparseWeaverSchedule,
+    "eghw": EGHWSchedule,
+    "split_vertex_map": SplitVertexMapSchedule,
+    "twc": TWCSchedule,
+    "strict": StrictSchedule,
+    "twce": TWCESchedule,
+    "hybrid_ell": HybridELLSchedule,
+}
+
+_ALIASES = {
+    "svm": "vertex_map",
+    "s_vm": "vertex_map",
+    "sem": "edge_map",
+    "s_em": "edge_map",
+    "swm": "warp_map",
+    "s_wm": "warp_map",
+    "scm": "cta_map",
+    "s_cm": "cta_map",
+    "sw": "sparseweaver",
+    "weaver": "sparseweaver",
+    "tigr": "split_vertex_map",
+    "svm_split": "split_vertex_map",
+    "stwc": "twc",
+    "s_twc": "twc",
+    "s_strict": "strict",
+    "s_twce": "twce",
+    "stwce": "twce",
+    "ell": "hybrid_ell",
+}
+
+
+def schedule_names() -> List[str]:
+    """All registered schedule names."""
+    return list(_FACTORIES)
+
+
+def make_schedule(name: Union[str, Schedule]) -> Schedule:
+    """Resolve a schedule by name (paper aliases accepted) or pass an
+    instance through."""
+    if isinstance(name, Schedule):
+        return name
+    key = _ALIASES.get(name.lower(), name.lower())
+    if key not in _FACTORIES:
+        raise ScheduleError(
+            f"unknown schedule {name!r}; known: {sorted(_FACTORIES)}"
+        )
+    return _FACTORIES[key]()

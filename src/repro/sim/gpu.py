@@ -1,0 +1,298 @@
+"""Event-driven SIMT execution engine.
+
+Execution model (DESIGN.md §5):
+
+* Each core holds ``warps_per_core`` resident warps; a warp is a Python
+  generator yielding :class:`~repro.sim.instructions.Instr`.
+* A core issues at most one warp instruction per cycle. After issuing,
+  the warp is blocked until the instruction's latency elapses; meanwhile
+  other ready warps issue. This reproduces the latency hiding that
+  in-order, scoreboarded GPUs such as Vortex get from warp-level
+  parallelism.
+* When no warp is ready, the gap is charged as a stall attributed to the
+  instruction class the *next-ready* warp is blocked on — the same
+  attribution idea behind Nsight's "long/short scoreboard" stalls.
+* Cores interleave through a global event heap keyed by core time, so
+  shared L2/L3 state is touched in approximately true time order.
+* ``SYNC`` is a core-wide barrier over non-finished warps.
+* Weaver/EGHW instructions are dispatched to a per-core hardware unit
+  which manages its own busy-time serialization and replies through
+  ``generator.send``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.config import GPUConfig
+from repro.sim.instructions import Instr, Op, Phase, as_index_array
+from repro.sim.memory import MemoryHierarchy
+from repro.sim.stats import KernelStats, StallCat, stall_category
+
+_RUNNING = 0
+_BARRIER = 1
+_DONE = 2
+
+
+class WarpContext:
+    """Identity of one resident warp, passed to kernel factories."""
+
+    __slots__ = (
+        "core_id",
+        "warp_slot",
+        "global_warp_id",
+        "config",
+        "lane_ids",
+        "thread_ids",
+    )
+
+    def __init__(self, core_id: int, warp_slot: int, config: GPUConfig) -> None:
+        self.core_id = core_id
+        self.warp_slot = warp_slot
+        self.config = config
+        self.global_warp_id = core_id * config.warps_per_core + warp_slot
+        self.lane_ids = np.arange(config.threads_per_warp, dtype=np.int64)
+        self.thread_ids = (
+            self.global_warp_id * config.threads_per_warp + self.lane_ids
+        )
+
+    @property
+    def num_lanes(self) -> int:
+        """Threads per warp."""
+        return self.config.threads_per_warp
+
+    @property
+    def total_threads(self) -> int:
+        """Grid-wide thread count (stride of vertex/edge loops)."""
+        return self.config.total_threads
+
+
+class _Warp:
+    __slots__ = ("slot", "gen", "ready", "state", "blocked_op",
+                 "blocked_phase", "response")
+
+    def __init__(self, slot: int, gen: Optional[Iterator[Instr]]) -> None:
+        self.slot = slot
+        self.gen = gen
+        self.ready = 0
+        self.state = _RUNNING if gen is not None else _DONE
+        self.blocked_op = Op.NOP
+        self.blocked_phase = Phase.OTHER
+        self.response: Any = None
+
+
+WarpFactory = Callable[[WarpContext], Optional[Iterator[Instr]]]
+UnitFactory = Callable[[int], Any]
+
+
+class GPU:
+    """The simulated GPU: cores + memory hierarchy + optional units."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.config = config
+        self.memory = MemoryHierarchy(config)
+
+    # ------------------------------------------------------------------
+    def run_kernel(
+        self,
+        warp_factory: WarpFactory,
+        unit_factory: Optional[UnitFactory] = None,
+        flush_caches: bool = False,
+        max_instructions: int = 500_000_000,
+        tracer: Optional[Any] = None,
+    ) -> KernelStats:
+        """Run one kernel to completion and return its statistics.
+
+        Parameters
+        ----------
+        warp_factory:
+            Called once per resident warp with a :class:`WarpContext`;
+            returns the warp's instruction generator, or ``None`` when
+            the warp has no work (it never participates in barriers).
+        unit_factory:
+            Optional per-core hardware unit constructor (Weaver or
+            EGHW). The unit must expose
+            ``handle(op, warp_slot, now, payload) -> (done_time, response)``.
+        flush_caches:
+            Invalidate caches before the kernel (cold-start runs).
+        max_instructions:
+            Safety valve against runaway kernels.
+        """
+        cfg = self.config
+        if flush_caches:
+            self.memory.flush()
+        self.memory.begin_kernel()
+        stats = KernelStats()
+        dram_before = self.memory.dram_accesses
+
+        cores = []
+        units: Dict[int, Any] = {}
+        heap = []
+        for core_id in range(cfg.num_cores):
+            warps = []
+            for slot in range(cfg.warps_per_core):
+                ctx = WarpContext(core_id, slot, cfg)
+                gen = warp_factory(ctx)
+                warp = _Warp(slot, gen)
+                if gen is not None:
+                    stats.warps_launched += 1
+                warps.append(warp)
+            cores.append(warps)
+            if unit_factory is not None:
+                units[core_id] = unit_factory(core_id)
+            if any(w.state == _RUNNING for w in warps):
+                heapq.heappush(heap, (0, core_id))
+
+        core_time = [0] * cfg.num_cores
+        issued = 0
+        while heap:
+            t, core_id = heapq.heappop(heap)
+            warps = cores[core_id]
+            running = [w for w in warps if w.state == _RUNNING]
+            if not running:
+                blocked = [w for w in warps if w.state == _BARRIER]
+                if blocked:
+                    release = max(max(w.ready for w in blocked), t)
+                    # Barrier cost is warp-level waiting: early arrivals
+                    # sit idle until the last warp shows up.
+                    stats.stall_cycles[StallCat.SYNC] += sum(
+                        release - w.ready for w in blocked
+                    )
+                    for w in blocked:
+                        w.state = _RUNNING
+                        w.ready = release
+                    heapq.heappush(heap, (release, core_id))
+                continue
+
+            warp = min(running, key=_ready_of)
+            if warp.ready > t:
+                gap = warp.ready - t
+                stats.stall_cycles[stall_category(warp.blocked_op)] += gap
+                stats.phase_cycles[warp.blocked_phase] += gap
+                t = warp.ready
+
+            try:
+                instr = warp.gen.send(warp.response)
+            except StopIteration:
+                warp.state = _DONE
+                warp.gen = None
+                if any(w.state != _DONE for w in warps):
+                    heapq.heappush(heap, (t, core_id))
+                core_time[core_id] = max(core_time[core_id], t)
+                continue
+            warp.response = None
+
+            issue_cost, done = self._execute(
+                instr, core_id, warp, t, units.get(core_id), stats
+            )
+            if tracer is not None and instr.op != Op.COUNTER:
+                tracer.record(t, core_id, warp.slot, instr.op,
+                              instr.phase, done)
+            if instr.op != Op.COUNTER:
+                issued += 1
+                stats.instructions += 1
+                stats.op_counts[instr.op] += 1
+                stats.phase_cycles[instr.phase] += issue_cost
+                if issued > max_instructions:
+                    raise SimulationError(
+                        f"kernel exceeded {max_instructions} instructions; "
+                        "likely a non-terminating kernel"
+                    )
+            warp.ready = done
+            warp.blocked_op = instr.op
+            warp.blocked_phase = instr.phase
+            t += issue_cost
+            core_time[core_id] = max(core_time[core_id], t)
+            heapq.heappush(heap, (t, core_id))
+
+        for core_id, warps in enumerate(cores):
+            pending = [w for w in warps if w.state == _BARRIER]
+            if pending:
+                raise SimulationError(
+                    f"core {core_id}: {len(pending)} warps stuck at a "
+                    "barrier at kernel end (mismatched SYNC counts)"
+                )
+            tail = max((w.ready for w in warps), default=0)
+            core_time[core_id] = max(core_time[core_id], tail)
+
+        stats.total_cycles = max(core_time) if core_time else 0
+        stats.cache = self.memory.cache_stats()
+        stats.dram_accesses = self.memory.dram_accesses - dram_before
+        return stats
+
+    # ------------------------------------------------------------------
+    def _execute(self, instr, core_id, warp, now, unit, stats):
+        """Charge one instruction; returns ``(issue_cost, done_time)``."""
+        cfg = self.config
+        op = instr.op
+
+        if op == Op.ALU:
+            cost = instr.count
+            return cost, now + cost + cfg.alu_latency - 1
+        if op == Op.LOAD:
+            idx = as_index_array(instr.indices)
+            if idx.size == 0:
+                return 1, now + 1
+            latency, _ = self.memory.access(core_id, instr.region, idx,
+                                            now=now)
+            # Element-level traffic accounting per array: lets tests
+            # check the Table I access formulas (2|V|+|E| vs 2|E|).
+            stats.counters[f"elements_loaded:{instr.region.name}"] += idx.size
+            return 1, now + 1 + latency
+        if op == Op.STORE:
+            idx = as_index_array(instr.indices)
+            if idx.size == 0:
+                return 1, now + 1
+            # Write-allocate for cache state; the warp itself only pays
+            # the (buffered) store latency.
+            self.memory.access(core_id, instr.region, idx, now=now)
+            return 1, now + 1 + cfg.store_latency
+        if op == Op.ATOMIC:
+            idx = as_index_array(instr.indices)
+            if idx.size == 0:
+                return 1, now + 1
+            latency, _ = self.memory.access(core_id, instr.region, idx,
+                                            now=now)
+            conflicts = idx.size - np.unique(idx).size
+            latency += cfg.atomic_extra * (1 + conflicts)
+            return 1, now + 1 + latency
+        if op == Op.SHMEM_LOAD or op == Op.SHMEM_STORE:
+            cost = instr.count
+            return cost, now + cost + cfg.shmem_latency - 1
+        if op == Op.SYNC:
+            warp.state = _BARRIER
+            return 1, now + 1
+        if op in _UNIT_OPS:
+            if unit is None:
+                raise SimulationError(
+                    f"{op.name} issued but the kernel was launched without "
+                    "a hardware unit"
+                )
+            done, response = unit.handle(op, warp.slot, now + 1, instr.payload)
+            warp.response = response
+            return 1, done
+        if op == Op.COUNTER:
+            name, value = instr.payload
+            stats.counters[name] += value
+            return 0, now
+        if op == Op.NOP:
+            return 1, now + 1
+        raise SimulationError(f"unknown opcode {op!r}")
+
+
+_UNIT_OPS = {
+    Op.WEAVER_REG,
+    Op.WEAVER_DEC_ID,
+    Op.WEAVER_DEC_LOC,
+    Op.WEAVER_SKIP,
+    Op.EGHW_PUSH,
+    Op.EGHW_FETCH,
+}
+
+
+def _ready_of(warp: _Warp) -> int:
+    return warp.ready

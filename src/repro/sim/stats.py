@@ -1,0 +1,185 @@
+"""Cycle, stall and phase accounting.
+
+The stall taxonomy mirrors the Nsight Compute categories of Fig. 4 as
+closely as a simulator can: MEMORY = waiting on a global-memory load
+(long scoreboard), SHARED = waiting on shared memory (short scoreboard),
+SYNC = waiting at a barrier, WEAVER / EGHW = waiting on the hardware
+unit, EXEC_DEP = waiting on an in-flight ALU result, IDLE = no warp had
+anything to issue.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Dict
+
+from repro.sim.instructions import Op, Phase, PHASE_LABELS
+
+
+class StallCat(IntEnum):
+    """Why a core cycle was spent not issuing."""
+
+    MEMORY = 0
+    SHARED = 1
+    SYNC = 2
+    WEAVER = 3
+    EGHW = 4
+    EXEC_DEP = 5
+    IDLE = 6
+
+
+STALL_LABELS = {
+    StallCat.MEMORY: "Memory (long scoreboard)",
+    StallCat.SHARED: "Shared (short scoreboard)",
+    StallCat.SYNC: "Barrier",
+    StallCat.WEAVER: "Weaver unit",
+    StallCat.EGHW: "EGHW unit",
+    StallCat.EXEC_DEP: "Execution dependency",
+    StallCat.IDLE: "Idle",
+}
+
+_OP_TO_STALL = {
+    Op.LOAD: StallCat.MEMORY,
+    Op.STORE: StallCat.MEMORY,
+    Op.ATOMIC: StallCat.MEMORY,
+    Op.SHMEM_LOAD: StallCat.SHARED,
+    Op.SHMEM_STORE: StallCat.SHARED,
+    Op.SYNC: StallCat.SYNC,
+    Op.WEAVER_REG: StallCat.WEAVER,
+    Op.WEAVER_DEC_ID: StallCat.WEAVER,
+    Op.WEAVER_DEC_LOC: StallCat.WEAVER,
+    Op.WEAVER_SKIP: StallCat.WEAVER,
+    Op.EGHW_PUSH: StallCat.EGHW,
+    Op.EGHW_FETCH: StallCat.EGHW,
+}
+
+
+def stall_category(op: Op) -> StallCat:
+    """Stall category charged when a warp is blocked on ``op``."""
+    return _OP_TO_STALL.get(op, StallCat.EXEC_DEP)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counts of one cache level."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction; 0.0 when the level was never accessed."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another level's counts into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+
+
+@dataclass
+class KernelStats:
+    """Everything the engine measured while running one kernel."""
+
+    total_cycles: int = 0
+    instructions: int = 0
+    warps_launched: int = 0
+    phase_cycles: Dict[Phase, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    stall_cycles: Dict[StallCat, int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    op_counts: Dict[Op, int] = field(default_factory=lambda: defaultdict(int))
+    counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    cache: Dict[str, CacheStats] = field(default_factory=dict)
+    dram_accesses: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def issue_cycles(self) -> int:
+        """Cycles spent issuing (total minus stalls)."""
+        return self.total_cycles - sum(self.stall_cycles.values())
+
+    @property
+    def warp_iterations(self) -> int:
+        """Gather-loop rounds executed (the Fig. 2a metric)."""
+        return self.counters.get("warp_iterations", 0)
+
+    def merge(self, other: "KernelStats") -> None:
+        """Accumulate another kernel's stats (multi-kernel algorithms).
+
+        ``total_cycles`` adds because kernels run back-to-back.
+        """
+        self.total_cycles += other.total_cycles
+        self.instructions += other.instructions
+        self.warps_launched += other.warps_launched
+        self.dram_accesses += other.dram_accesses
+        for k, v in other.phase_cycles.items():
+            self.phase_cycles[k] += v
+        for k, v in other.stall_cycles.items():
+            self.stall_cycles[k] += v
+        for k, v in other.op_counts.items():
+            self.op_counts[k] += v
+        for k, v in other.counters.items():
+            self.counters[k] += v
+        for name, cs in other.cache.items():
+            self.cache.setdefault(name, CacheStats()).merge(cs)
+
+    # ------------------------------------------------------------------
+    def phase_breakdown(self) -> Dict[str, int]:
+        """Human-readable phase -> cycles mapping (Fig. 17 rows)."""
+        return {
+            PHASE_LABELS[p]: c for p, c in sorted(self.phase_cycles.items())
+        }
+
+    def stall_breakdown(self) -> Dict[str, int]:
+        """Human-readable stall -> cycles mapping (Fig. 4 rows)."""
+        return {
+            STALL_LABELS[s]: c for s, c in sorted(self.stall_cycles.items())
+        }
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable snapshot (for tooling and archival)."""
+        return {
+            "total_cycles": self.total_cycles,
+            "instructions": self.instructions,
+            "warps_launched": self.warps_launched,
+            "dram_accesses": self.dram_accesses,
+            "phases": self.phase_breakdown(),
+            "stalls": self.stall_breakdown(),
+            "ops": {op.name: count for op, count in
+                    sorted(self.op_counts.items())},
+            "counters": dict(self.counters),
+            "cache": {
+                name: {"hits": cs.hits, "misses": cs.misses}
+                for name, cs in self.cache.items()
+            },
+        }
+
+    def summary(self) -> str:
+        """Multi-line textual summary for reports."""
+        lines = [
+            f"cycles={self.total_cycles} instructions={self.instructions} "
+            f"warps={self.warps_launched}",
+            "phases: "
+            + ", ".join(f"{k}={v}" for k, v in self.phase_breakdown().items()),
+            "stalls: "
+            + ", ".join(f"{k}={v}" for k, v in self.stall_breakdown().items()),
+        ]
+        if self.cache:
+            lines.append(
+                "cache: "
+                + ", ".join(
+                    f"{name} {cs.hits}/{cs.accesses} hits"
+                    for name, cs in self.cache.items()
+                )
+            )
+        return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Optional execution tracing for the simulator.
+
+Attach an :class:`ExecutionTracer` to ``GPU.run_kernel(tracer=...)`` to
+record every issued instruction — (time, core, warp, op, phase,
+completion). Used for debugging kernels and for the pipeline-diagram
+style inspection the SimX simulator offers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.instructions import Op, Phase
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One issued warp instruction."""
+
+    time: int
+    core: int
+    warp: int
+    op: Op
+    phase: Phase
+    done: int
+
+    @property
+    def latency(self) -> int:
+        """Completion minus issue time."""
+        return self.done - self.time
+
+
+class ExecutionTracer:
+    """Bounded in-memory instruction trace."""
+
+    def __init__(self, max_events: int = 100_000) -> None:
+        self.max_events = max_events
+        self.events: List[TraceEvent] = []
+        self.dropped = 0
+
+    def record(self, time: int, core: int, warp: int, op: Op,
+               phase: Phase, done: int) -> None:
+        """Append one event (drops beyond the bound)."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, core, warp, op, phase, done))
+
+    # ------------------------------------------------------------------
+    def filter(self, op: Optional[Op] = None, core: Optional[int] = None,
+               warp: Optional[int] = None) -> List[TraceEvent]:
+        """Events matching the given criteria."""
+        out = self.events
+        if op is not None:
+            out = [e for e in out if e.op == op]
+        if core is not None:
+            out = [e for e in out if e.core == core]
+        if warp is not None:
+            out = [e for e in out if e.warp == warp]
+        return out
+
+    def timeline(self, core: int, limit: int = 50) -> str:
+        """Human-readable per-core issue log."""
+        lines = [
+            f"t={e.time:<8} w{e.warp:<3} {e.op.name:<14} "
+            f"{e.phase.name:<12} done={e.done}"
+            for e in self.filter(core=core)[:limit]
+        ]
+        return "\n".join(lines)
+
+    def occupancy_chart(self, core: int = 0, buckets: int = 60) -> str:
+        """ASCII issue-density timeline: one row per warp, one column
+        per time bucket; darker marks mean more instructions issued in
+        that window. The at-a-glance view of imbalance: a lone busy row
+        is the straggler warp everyone else lockstep-waits for."""
+        events = self.filter(core=core)
+        if not events:
+            return "(no events)"
+        t_end = max(e.time for e in events) + 1
+        warps = sorted({e.warp for e in events})
+        grid = {w: [0] * buckets for w in warps}
+        for e in events:
+            grid[e.warp][min(buckets - 1, e.time * buckets // t_end)] += 1
+        peak = max(max(row) for row in grid.values()) or 1
+        shades = " .:*#"
+        lines = [f"issue density, core {core}, 0..{t_end} cycles"]
+        for w in warps:
+            cells = "".join(
+                shades[min(len(shades) - 1,
+                           (count * (len(shades) - 1) + peak - 1) // peak)]
+                for count in grid[w]
+            )
+            lines.append(f"w{w:<3}|{cells}|")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,74 @@
+"""Shared fixtures: tiny graphs and fast simulator configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    chain_graph,
+    from_edge_list,
+    powerlaw_graph,
+    road_grid_graph,
+    star_graph,
+)
+from repro.sim import GPUConfig
+
+
+@pytest.fixture
+def tiny_config() -> GPUConfig:
+    """1 core, 2 warps, 4 threads — smallest full pipeline."""
+    return GPUConfig.vortex_tiny()
+
+
+@pytest.fixture
+def bench_config() -> GPUConfig:
+    """2 cores, 8 warps, 32 threads — the benchmark preset."""
+    return GPUConfig.vortex_bench()
+
+
+@pytest.fixture
+def diamond_graph() -> CSRGraph:
+    """4 vertices: 0 -> {1, 2} -> 3, plus 0 -> 3."""
+    return from_edge_list(
+        [(0, 1), (0, 2), (0, 3), (1, 3), (2, 3)], num_vertices=4
+    )
+
+
+@pytest.fixture
+def paper_example_graph() -> CSRGraph:
+    """The Fig. 1/6 shape: vertex degrees (1, 0, 2, 0, 5).
+
+    Vertex 0 has one edge, vertex 2 has two, vertex 4 has five, so a
+    4-lane warp reproduces the paper's worked decode example.
+    """
+    edges = [(0, 2)]
+    edges += [(2, 0), (2, 4)]
+    edges += [(4, 0), (4, 1), (4, 2), (4, 3), (4, 5)]
+    return from_edge_list(edges, num_vertices=6)
+
+
+@pytest.fixture
+def small_powerlaw() -> CSRGraph:
+    return powerlaw_graph(200, 900, exponent=2.0, seed=42)
+
+
+@pytest.fixture
+def small_road() -> CSRGraph:
+    return road_grid_graph(12, seed=7)
+
+
+@pytest.fixture
+def small_star() -> CSRGraph:
+    return star_graph(40)
+
+
+@pytest.fixture
+def small_chain() -> CSRGraph:
+    return chain_graph(30)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

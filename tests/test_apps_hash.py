@@ -1,0 +1,214 @@
+"""GPU hash table + SparseWeaver lookup (Section VII-A, Algorithm 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import GPUHashTable, run_hash_lookup
+from repro.errors import ReproError
+from repro.sim import GPUConfig
+
+CFG = GPUConfig.vortex_tiny()
+
+
+@pytest.fixture
+def small_table():
+    keys = np.arange(0, 64, dtype=np.int64) * 3 + 1
+    values = keys.astype(np.float64) * 10
+    return GPUHashTable(keys, values, num_buckets=16)
+
+
+# ----------------------------------------------------------------------
+# Table structure
+# ----------------------------------------------------------------------
+def test_table_layout_is_csr_like(small_table):
+    t = small_table
+    assert t.offsets[0] == 0
+    assert t.offsets[-1] == t.size
+    assert np.all(np.diff(t.offsets) >= 0)
+    assert int(t.chain_lengths.sum()) == t.size
+
+
+def test_bucket_range_contains_hashed_keys(small_table):
+    t = small_table
+    for bucket in range(t.num_buckets):
+        start, end = t.bucket_range(bucket)
+        assert np.all(t.hash(t.keys[start:end]) == bucket)
+
+
+def test_modulo_hash_clusters():
+    """Clustered keys + modulo hash -> overloaded chains (the skewed
+    regime the Weaver targets)."""
+    keys = np.arange(100, dtype=np.int64) * 16  # all multiples of 16
+    t = GPUHashTable(keys, keys.astype(float), num_buckets=16,
+                     multiplicative=False)
+    assert t.max_chain() == 100  # everything lands in bucket 0
+    t2 = GPUHashTable(keys, keys.astype(float), num_buckets=16,
+                      multiplicative=True)
+    assert t2.max_chain() < 40
+
+
+def test_table_validation():
+    with pytest.raises(ReproError):
+        GPUHashTable(np.array([1, 1]), np.array([1.0, 2.0]))
+    with pytest.raises(ReproError):
+        GPUHashTable(np.array([1]), np.array([1.0, 2.0]))
+    with pytest.raises(ReproError):
+        GPUHashTable(np.array([1]), np.array([1.0]), num_buckets=0)
+    t = GPUHashTable(np.array([1]), np.array([1.0]), num_buckets=2)
+    with pytest.raises(ReproError):
+        t.bucket_range(5)
+
+
+def test_reference_lookup(small_table):
+    queries = np.array([1, 4, 7, 999])
+    ref = small_table.lookup_reference(queries)
+    assert ref[0] == 10.0
+    assert ref[1] == 40.0
+    assert np.isnan(ref[3])
+
+
+# ----------------------------------------------------------------------
+# Lookup kernels
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("strategy", ["thread_per_query", "sparseweaver"])
+def test_lookup_matches_reference(small_table, strategy):
+    rng = np.random.default_rng(5)
+    queries = rng.choice(small_table.keys, size=40)
+    queries = np.concatenate([queries, np.array([100_000, -7])])
+    ref = small_table.lookup_reference(queries)
+    res = run_hash_lookup(small_table, queries, strategy=strategy,
+                          config=CFG)
+    np.testing.assert_array_equal(np.isnan(res.values), np.isnan(ref))
+    np.testing.assert_allclose(res.values[~np.isnan(ref)],
+                               ref[~np.isnan(ref)])
+    assert res.hit_rate == pytest.approx(40 / 42)
+
+
+@pytest.mark.parametrize("strategy", ["thread_per_query", "sparseweaver"])
+def test_duplicate_queries(small_table, strategy):
+    queries = np.array([1, 1, 1, 4, 4])
+    res = run_hash_lookup(small_table, queries, strategy=strategy,
+                          config=CFG)
+    np.testing.assert_allclose(res.values, [10, 10, 10, 40, 40])
+
+
+@pytest.mark.parametrize("strategy", ["thread_per_query", "sparseweaver"])
+def test_all_misses(small_table, strategy):
+    queries = np.array([2, 5, 8])  # not multiples-of-3-plus-1
+    res = run_hash_lookup(small_table, queries, strategy=strategy,
+                          config=CFG)
+    assert np.all(np.isnan(res.values))
+    assert res.hit_rate == 0.0
+
+
+def test_unknown_strategy_rejected(small_table):
+    with pytest.raises(ReproError):
+        run_hash_lookup(small_table, np.array([1]), strategy="quantum")
+
+
+def test_sparseweaver_wins_on_overloaded_chains():
+    """The skew shape: clustered keys overload chains, thread-per-query
+    serializes on them, the Weaver spreads them across lanes."""
+    keys = np.arange(256, dtype=np.int64) * 16
+    table = GPUHashTable(keys, keys.astype(float), num_buckets=64,
+                         multiplicative=False)
+    assert table.max_chain() >= 64
+    rng = np.random.default_rng(3)
+    queries = rng.choice(keys, size=96)
+    cfg = GPUConfig.vortex_bench()
+    naive = run_hash_lookup(table, queries, "thread_per_query", cfg)
+    weaver = run_hash_lookup(table, queries, "sparseweaver", cfg)
+    np.testing.assert_allclose(naive.values, weaver.values)
+    assert weaver.stats.total_cycles < naive.stats.total_cycles
+
+
+def test_balanced_table_near_parity():
+    """Uniform hashing -> short, even chains -> little to weave."""
+    keys = np.arange(256, dtype=np.int64)
+    table = GPUHashTable(keys, keys.astype(float), num_buckets=128,
+                         multiplicative=True)
+    rng = np.random.default_rng(4)
+    queries = rng.choice(keys, size=96)
+    cfg = GPUConfig.vortex_bench()
+    naive = run_hash_lookup(table, queries, "thread_per_query", cfg)
+    weaver = run_hash_lookup(table, queries, "sparseweaver", cfg)
+    assert weaver.stats.total_cycles < 4 * naive.stats.total_cycles
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=1, max_size=30, unique=True),
+       st.lists(st.integers(min_value=-1000, max_value=1000),
+                min_size=1, max_size=20))
+@settings(max_examples=25, deadline=None)
+def test_property_lookup_matches_reference(table_keys, query_keys):
+    keys = np.asarray(table_keys, dtype=np.int64)
+    table = GPUHashTable(keys, keys.astype(float) * 2.0, num_buckets=8)
+    queries = np.asarray(query_keys, dtype=np.int64)
+    ref = table.lookup_reference(queries)
+    for strategy in ("thread_per_query", "sparseweaver"):
+        res = run_hash_lookup(table, queries, strategy=strategy,
+                              config=CFG)
+        np.testing.assert_array_equal(np.isnan(res.values), np.isnan(ref))
+        np.testing.assert_allclose(res.values[~np.isnan(ref)],
+                                   ref[~np.isnan(ref)])
+
+
+# ----------------------------------------------------------------------
+# Aggregate (multimap) probes — Algorithm 1's full-chain loop
+# ----------------------------------------------------------------------
+def _orders_table():
+    rng = np.random.default_rng(7)
+    whales = (np.arange(10) + 1) * 6_400
+    regulars = rng.choice(np.arange(20, 5_000), size=400,
+                          replace=False) * 64 + 32
+    cust = np.concatenate([np.repeat(whales, 60), np.repeat(regulars, 2)])
+    amounts = rng.uniform(1, 100, cust.size)
+    table = GPUHashTable(cust, amounts, num_buckets=256,
+                         allow_duplicates=True)
+    probe = np.concatenate([rng.choice(regulars, 100),
+                            rng.choice(whales, 20)])
+    return table, probe
+
+
+@pytest.mark.parametrize("strategy", ["thread_per_query", "sparseweaver"])
+def test_aggregate_matches_reference(strategy):
+    table, probe = _orders_table()
+    ref = table.aggregate_reference(probe)
+    res = run_hash_lookup(table, probe, strategy=strategy, config=CFG,
+                          mode="aggregate")
+    np.testing.assert_allclose(res.values, ref)
+
+
+def test_aggregate_miss_is_zero(small_table):
+    res = run_hash_lookup(small_table, np.array([999_999]),
+                          strategy="sparseweaver", config=CFG,
+                          mode="aggregate")
+    assert res.values.tolist() == [0.0]
+    assert not res.found[0]
+
+
+def test_sparseweaver_wins_aggregate_probe():
+    """Full-chain scans cannot early-exit; whale chains serialize the
+    naive mapping while the Weaver packs them densely."""
+    table, probe = _orders_table()
+    cfg = GPUConfig.vortex_bench()
+    naive = run_hash_lookup(table, probe, "thread_per_query", cfg,
+                            mode="aggregate")
+    weaver = run_hash_lookup(table, probe, "sparseweaver", cfg,
+                             mode="aggregate")
+    assert weaver.stats.total_cycles < naive.stats.total_cycles
+    assert weaver.stats.warp_iterations < naive.stats.warp_iterations / 2
+
+
+def test_duplicate_keys_require_multimap_flag():
+    with pytest.raises(ReproError):
+        GPUHashTable(np.array([1, 1]), np.array([1.0, 2.0]))
+    t = GPUHashTable(np.array([1, 1]), np.array([1.0, 2.0]),
+                     allow_duplicates=True)
+    assert t.aggregate_reference(np.array([1]))[0] == 3.0
+
+
+def test_bad_mode_rejected(small_table):
+    with pytest.raises(ReproError):
+        run_hash_lookup(small_table, np.array([1]), mode="sum")

@@ -1,0 +1,157 @@
+"""Auto-tuner (Table V) and the benchmark harness utilities."""
+
+import pytest
+
+from repro.autotune import AutoTuner
+from repro.algorithms import make_algorithm
+from repro.bench import (
+    format_breakdown,
+    format_series,
+    format_table,
+    geomean,
+    run_schedule_comparison,
+    run_single,
+)
+from repro.errors import ScheduleError
+from repro.graph import powerlaw_graph, star_graph
+from repro.sim import GPUConfig
+
+CFG = GPUConfig.vortex_tiny()
+
+
+# ----------------------------------------------------------------------
+# AutoTuner
+# ----------------------------------------------------------------------
+def test_tuner_tries_all_candidates(small_powerlaw):
+    tuner = AutoTuner(lambda: make_algorithm("pagerank", iterations=2),
+                      config=CFG)
+    report = tuner.tune(small_powerlaw)
+    assert len(report.trials) == 4
+    assert report.best_schedule in {t.schedule for t in report.trials}
+
+
+def test_tuner_best_is_minimum(small_powerlaw):
+    tuner = AutoTuner(lambda: make_algorithm("pagerank", iterations=2),
+                      config=CFG)
+    report = tuner.tune(small_powerlaw)
+    assert report.best_cycles == min(t.cycles for t in report.trials)
+
+
+def test_tuning_bill_sums_trials(small_powerlaw):
+    tuner = AutoTuner(lambda: make_algorithm("pagerank", iterations=2),
+                      config=CFG)
+    report = tuner.tune(small_powerlaw)
+    assert report.tuning_cycles == sum(t.cycles for t in report.trials)
+    assert report.tuning_cycles > report.best_cycles
+    assert report.tuning_wall_seconds > 0
+
+
+def test_tuner_speedup_on_skewed_graph():
+    g = star_graph(100)
+    tuner = AutoTuner(lambda: make_algorithm("pagerank", iterations=2),
+                      config=CFG)
+    report = tuner.tune(g)
+    assert report.best_speedup >= 1.0
+
+
+def test_tuner_custom_candidates(small_powerlaw):
+    tuner = AutoTuner(
+        lambda: make_algorithm("pagerank", iterations=1),
+        config=CFG, candidates=["vertex_map", "edge_map"],
+    )
+    assert len(tuner.tune(small_powerlaw).trials) == 2
+
+
+def test_tuner_empty_candidates_rejected():
+    with pytest.raises(ScheduleError):
+        AutoTuner(lambda: make_algorithm("pagerank"), candidates=[])
+
+
+# ----------------------------------------------------------------------
+# Bench runner
+# ----------------------------------------------------------------------
+def test_run_single(small_powerlaw):
+    res = run_single(make_algorithm("pagerank", iterations=1),
+                     small_powerlaw, "vertex_map", config=CFG)
+    assert res.total_cycles > 0
+
+
+def test_schedule_comparison_grid():
+    graphs = {"a": star_graph(30), "b": powerlaw_graph(60, 240, seed=1)}
+    result = run_schedule_comparison(
+        lambda: make_algorithm("pagerank", iterations=1),
+        graphs, ["vertex_map", "edge_map"], config=CFG,
+    )
+    assert set(result.cycles) == {"a", "b"}
+    assert set(result.cycles["a"]) == {"vertex_map", "edge_map"}
+
+
+def test_speedups_baseline_is_one():
+    graphs = {"a": star_graph(30)}
+    result = run_schedule_comparison(
+        lambda: make_algorithm("pagerank", iterations=1),
+        graphs, ["vertex_map", "edge_map"], config=CFG,
+    )
+    sp = result.speedups()
+    assert sp["a"]["vertex_map"] == 1.0
+
+
+def test_geomean_speedups():
+    graphs = {"a": star_graph(30), "b": star_graph(50)}
+    result = run_schedule_comparison(
+        lambda: make_algorithm("pagerank", iterations=1),
+        graphs, ["vertex_map", "edge_map"], config=CFG,
+    )
+    gm = result.geomean_speedups()
+    assert gm["vertex_map"] == pytest.approx(1.0)
+    assert gm["edge_map"] > 0
+
+
+def test_geomean_function():
+    assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+    assert geomean([]) == 1.0
+    assert geomean([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+
+
+# ----------------------------------------------------------------------
+# Report formatting
+# ----------------------------------------------------------------------
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["longer", 2.5]],
+                        title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "longer" in lines[-1]
+    assert "2.50" in lines[-1]
+
+
+def test_format_series_rows_are_series():
+    text = format_series("x", [1, 2], {"s1": [10, 20], "s2": [30, 40]})
+    assert "s1" in text and "s2" in text
+    assert "40" in text
+
+
+def test_format_breakdown_totals():
+    text = format_breakdown(
+        {"cfgA": {"mem": 10, "alu": 30}, "cfgB": {"mem": 5}}
+    )
+    assert "total" in text.splitlines()[0]
+    assert "40" in text
+
+
+def test_format_breakdown_normalized():
+    text = format_breakdown({"cfg": {"a": 1, "b": 3}}, normalize=True)
+    assert "0.25" in text and "0.75" in text
+
+
+def test_format_bar_chart():
+    from repro.bench import format_bar_chart
+
+    text = format_bar_chart({"a": 10, "bb": 40}, title="T", width=20,
+                            unit="c")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert lines[2].count("#") == 20      # the max fills the width
+    assert lines[1].count("#") == 5       # proportional
+    assert "40c" in lines[2]
+    assert format_bar_chart({}) == ""

@@ -1,0 +1,95 @@
+"""CLI smoke tests (in-process, capturing stdout)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr().out
+    return code, out
+
+
+def test_run_command(capsys):
+    code, out = run_cli(capsys, "run", "--dataset", "bio-human",
+                        "--scale", "0.2", "--iterations", "1")
+    assert code == 0
+    assert "cycles:" in out
+    assert "sparseweaver" in out
+
+
+def test_run_with_schedule_and_algorithm(capsys):
+    code, out = run_cli(capsys, "run", "--algorithm", "bfs",
+                        "--dataset", "road-ca", "--schedule",
+                        "vertex_map", "--scale", "0.2")
+    assert code == 0
+    assert "bfs on road-ca" in out
+
+
+def test_compare_command(capsys):
+    code, out = run_cli(capsys, "compare", "--dataset", "bio-human",
+                        "--scale", "0.2", "--iterations", "1")
+    assert code == 0
+    for sched in ("vertex_map", "edge_map", "sparseweaver", "eghw"):
+        assert sched in out
+    assert "speedup over S_vm" in out
+
+
+def test_datasets_command(capsys):
+    code, out = run_cli(capsys, "datasets")
+    assert code == 0
+    assert "hollywood" in out
+    assert "228985632" in out  # paper-scale edge count
+
+
+def test_area_command(capsys):
+    code, out = run_cli(capsys, "area", "--cores", "1")
+    assert code == 0
+    assert "105094" in out and "108203" in out
+
+
+def test_weaver_command(capsys):
+    code, out = run_cli(capsys, "weaver")
+    assert code == 0
+    assert "[0, 2, 2, 4]" in out
+    assert "[2, 10, 11, 30]" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_bad_choice_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "--schedule", "quantum"])
+
+
+def test_compare_extended(capsys):
+    code, out = run_cli(capsys, "compare", "--dataset", "bio-human",
+                        "--scale", "0.2", "--iterations", "1",
+                        "--extended")
+    assert code == 0
+    for sched in ("twc", "twce", "strict", "split_vertex_map",
+                  "hybrid_ell"):
+        assert sched in out
+
+
+def test_reproduce_lists_available_on_miss(capsys):
+    code, out = run_cli(capsys, "reproduce", "nonexistent-xyz")
+    assert code == 1
+    assert "available:" in out
+    assert "fig10_main_comparison" in out
+
+
+def test_reproduce_runs_matching_bench():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "reproduce", "table4"],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0
+    assert "Table IV" in proc.stdout

@@ -1,0 +1,186 @@
+"""The Weaver FSM against the paper's Fig. 6 worked example and edge
+cases (skips, zero degrees, supernodes, post-end requests)."""
+
+import numpy as np
+import pytest
+
+from repro.core import SparseWorkloadTable, WeaverFSM, WeaverState
+from repro.errors import WeaverError
+
+
+def fig6_table():
+    """ST of the paper's example: (0,2,1), (2,10,2), (4,30,5)."""
+    st = SparseWorkloadTable(16)
+    st.register(0, 0, 2, 1)
+    st.register(1, 2, 10, 2)
+    st.register(2, 4, 30, 5)
+    return st
+
+
+def test_fig6_first_decode_matches_paper():
+    fsm = WeaverFSM(fig6_table(), lanes=4)
+    r = fsm.decode()
+    assert r.vids.tolist() == [0, 2, 2, 4]
+    assert r.eids.tolist() == [2, 10, 11, 30]
+    assert r.mask.all()
+
+
+def test_fig6_state_walk():
+    fsm = WeaverFSM(fig6_table(), lanes=4)
+    r = fsm.decode()
+    names = [s.value for s in r.states]
+    # S1 load-first, then decode/fetch/update alternation, then S5 -> S6.
+    assert names[0] == "S1"
+    assert names[-2:] == ["S5", "S6"]
+    assert names.count("S3") == 2  # two additional ST fetches
+    assert r.st_reads == 3
+
+
+def test_fig6_high_degree_entry_fills_second_od():
+    fsm = WeaverFSM(fig6_table(), lanes=4)
+    fsm.decode()
+    r2 = fsm.decode()
+    assert r2.vids.tolist() == [4, 4, 4, 4]
+    assert r2.eids.tolist() == [31, 32, 33, 34]
+
+
+def test_fig6_third_decode_ends():
+    fsm = WeaverFSM(fig6_table(), lanes=4)
+    fsm.decode()
+    fsm.decode()
+    r3 = fsm.decode()
+    assert r3.exhausted
+    assert r3.vids.tolist() == [-1, -1, -1, -1]
+    assert fsm.state == WeaverState.END
+
+
+def test_partial_last_batch():
+    st = SparseWorkloadTable(4)
+    st.register(0, 7, 100, 6)
+    fsm = WeaverFSM(st, lanes=4)
+    r1 = fsm.decode()
+    assert r1.work_count == 4
+    r2 = fsm.decode()
+    assert r2.work_count == 2
+    assert r2.vids.tolist() == [7, 7, -1, -1]
+    assert fsm.exhausted
+
+
+def test_work_items_cover_every_edge_exactly_once():
+    st = SparseWorkloadTable(8)
+    degrees = [3, 0, 5, 1, 2]
+    loc = 0
+    for i, d in enumerate(degrees):
+        st.register(i, vid=i, loc=loc, degree=d)
+        loc += d
+    fsm = WeaverFSM(st, lanes=4)
+    seen = []
+    while True:
+        r = fsm.decode()
+        if r.exhausted:
+            break
+        seen.extend(r.eids[r.mask].tolist())
+    assert sorted(seen) == list(range(sum(degrees)))
+
+
+def test_zero_degree_entries_emit_nothing():
+    st = SparseWorkloadTable(4)
+    st.register(0, 0, 0, 0)
+    st.register(1, 1, 0, 0)
+    fsm = WeaverFSM(st, lanes=4)
+    r = fsm.decode()
+    assert r.exhausted
+    assert fsm.exhausted
+
+
+def test_empty_table_ends_immediately():
+    fsm = WeaverFSM(SparseWorkloadTable(4), lanes=4)
+    r = fsm.decode()
+    assert r.exhausted
+    assert fsm.state == WeaverState.END
+
+
+def test_skip_before_entry_reached():
+    st = fig6_table()
+    fsm = WeaverFSM(st, lanes=4)
+    fsm.skip(4)  # supernode skipped before decode starts
+    r = fsm.decode()
+    # vertex 4's five edges vanish; only vid 0 and 2 work remains
+    assert r.vids[r.mask].tolist() == [0, 2, 2]
+    assert fsm.decode().exhausted
+
+
+def test_skip_mid_decode_stops_supernode():
+    st = SparseWorkloadTable(4)
+    st.register(0, 9, 0, 12)
+    fsm = WeaverFSM(st, lanes=4)
+    r1 = fsm.decode()
+    assert r1.work_count == 4
+    fsm.skip(9)
+    r2 = fsm.decode()
+    assert r2.exhausted
+
+
+def test_post_end_requests_cost_one_cycle():
+    fsm = WeaverFSM(SparseWorkloadTable(2), lanes=2)
+    fsm.decode()
+    r = fsm.decode()
+    assert r.exhausted
+    assert r.fsm_cycles == 1
+    assert r.st_reads == 0
+
+
+def test_reset_restarts_scan():
+    st = fig6_table()
+    fsm = WeaverFSM(st, lanes=4)
+    fsm.decode()
+    fsm.reset()
+    assert fsm.state == WeaverState.INIT
+    r = fsm.decode()
+    assert r.vids.tolist() == [0, 2, 2, 4]
+
+
+def test_reset_clears_skips():
+    st = fig6_table()
+    fsm = WeaverFSM(st, lanes=4)
+    fsm.skip(4)
+    fsm.reset()
+    r = fsm.decode()
+    assert 4 in r.vids.tolist()
+
+
+def test_lane_width_one():
+    st = SparseWorkloadTable(2)
+    st.register(0, 3, 5, 2)
+    fsm = WeaverFSM(st, lanes=1)
+    assert fsm.decode().eids.tolist() == [5]
+    assert fsm.decode().eids.tolist() == [6]
+    assert fsm.decode().exhausted
+
+
+def test_rejects_zero_lanes():
+    with pytest.raises(WeaverError):
+        WeaverFSM(SparseWorkloadTable(2), lanes=0)
+
+
+def test_cycle_accounting_accumulates():
+    fsm = WeaverFSM(fig6_table(), lanes=4)
+    fsm.decode()
+    fsm.decode()
+    assert fsm.total_fsm_cycles > 0
+    assert fsm.total_st_reads == 3
+
+
+def test_ordered_scan_by_index_means_ordered_vids():
+    """Out-of-order registration still yields VID-ordered work when
+    entries are indexed by software thread id (Section III-C)."""
+    st = SparseWorkloadTable(8)
+    # warp 1 registers before warp 0 (out-of-order execution) but uses
+    # higher indices, so the scan is still vid-ordered.
+    st.register(4, vid=4, loc=40, degree=1)
+    st.register(5, vid=5, loc=50, degree=1)
+    st.register(0, vid=0, loc=0, degree=1)
+    st.register(1, vid=1, loc=10, degree=1)
+    fsm = WeaverFSM(st, lanes=4)
+    r = fsm.decode()
+    assert r.vids.tolist() == [0, 1, 4, 5]

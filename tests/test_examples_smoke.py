@@ -1,0 +1,32 @@
+"""Smoke tests: every example script runs to completion.
+
+Run as subprocesses so import-time and ``__main__`` paths are covered;
+marked slow-ish examples get generous timeouts but all finish in well
+under a minute each.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 7
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(path):
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()  # every example narrates its result

@@ -1,0 +1,80 @@
+"""Generated kernel source mirrors Fig. 9's structure per algorithm."""
+
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.errors import ScheduleError
+from repro.frontend.codegen import generate_kernel_source
+
+
+def test_pagerank_pull_kernel_skeleton():
+    src = generate_kernel_source(make_algorithm("pagerank"))
+    # Fig. 9 skeleton, in order
+    reg = src.index("WEAVER_REG(vid, start, deg)")
+    sync = src.index("synchronization()")
+    dec_id = src.index("WEAVER_DEC_ID()")
+    dec_loc = src.index("WEAVER_DEC_LOC()")
+    assert reg < sync < dec_id < dec_loc
+    assert "if (vid == -1)" in src  # the -1 exit protocol
+
+
+def test_pagerank_has_no_filters():
+    src = generate_kernel_source(make_algorithm("pagerank"))
+    assert "_filter" not in src
+    assert "WEAVER_SKIP" not in src
+
+
+def test_bottom_up_bfs_places_dest_filter_and_skip():
+    src = generate_kernel_source(
+        make_algorithm("bfs", source=0, variant="bottom_up"))
+    assert "dest_filter(vid)" in src          # registration-side
+    assert "WEAVER_SKIP" in src               # early exit
+    assert "src_filter(e.src)" in src         # distribution-side
+
+
+def test_top_down_bfs_places_src_filter_at_registration():
+    src = generate_kernel_source(make_algorithm("bfs", source=0))
+    assert "src_filter(vid)" in src
+    assert "dest_filter(e.dest)" in src
+    assert "WEAVER_SKIP" not in src  # no early exit in top-down
+
+
+def test_sssp_uses_edge_weight():
+    src = generate_kernel_source(make_algorithm("sssp", source=0))
+    assert "e.weight" in src
+    pr = generate_kernel_source(make_algorithm("pagerank"))
+    assert "1.0f" in pr and "e.weight" not in pr
+
+
+def test_push_accumulates_into_destination():
+    src = generate_kernel_source(
+        make_algorithm("pagerank", direction="push"))
+    assert "&acc[e.dest]" in src
+    pull = generate_kernel_source(make_algorithm("pagerank"))
+    assert "&acc[vid]" in pull
+
+
+def test_vertex_map_generator():
+    src = generate_kernel_source(make_algorithm("pagerank"),
+                                 schedule="vertex_map")
+    assert "WEAVER" not in src
+    assert "for (int eid = start" in src
+
+
+def test_vertex_map_early_exit_breaks():
+    src = generate_kernel_source(
+        make_algorithm("bfs", source=0, variant="bottom_up"),
+        schedule="vertex_map")
+    assert "break;" in src
+
+
+def test_unknown_schedule_rejected():
+    with pytest.raises(ScheduleError):
+        generate_kernel_source(make_algorithm("pagerank"),
+                               schedule="warp_map")
+
+
+def test_kernel_names_are_identifiers():
+    src = generate_kernel_source(
+        make_algorithm("bfs", source=0, variant="bottom_up"))
+    assert "bfs_bottom_up_gather" in src  # dashes sanitized

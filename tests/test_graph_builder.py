@@ -1,0 +1,86 @@
+"""Edge-list / adjacency builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import from_adjacency, from_edge_list, to_edge_list
+from repro.graph.builder import from_edge_arrays, from_networkx
+
+
+def test_from_edge_list_sorts_by_source():
+    g = from_edge_list([(2, 0), (0, 1), (1, 2)])
+    assert g.edge_sources().tolist() == [0, 1, 2]
+
+
+def test_from_edge_list_weighted():
+    g = from_edge_list([(0, 1, 1.5), (0, 2, 2.5)])
+    assert g.weights.tolist() == [1.5, 2.5]
+
+
+def test_from_edge_list_mixed_arity_rejected():
+    with pytest.raises(GraphError):
+        from_edge_list([(0, 1), (0, 2, 3.0)])
+
+
+def test_from_edge_list_infers_vertex_count():
+    g = from_edge_list([(0, 5)])
+    assert g.num_vertices == 6
+
+
+def test_num_vertices_too_small_rejected():
+    with pytest.raises(GraphError):
+        from_edge_list([(0, 5)], num_vertices=3)
+
+
+def test_negative_ids_rejected():
+    with pytest.raises(GraphError):
+        from_edge_arrays(np.array([-1]), np.array([0]))
+
+
+def test_dedupe_keeps_first_weight():
+    g = from_edge_arrays(
+        np.array([0, 0]), np.array([1, 1]), 2,
+        weights=np.array([3.0, 9.0]), dedupe=True,
+    )
+    assert g.num_edges == 1
+    assert g.weights.tolist() == [3.0]
+
+
+def test_from_adjacency():
+    g = from_adjacency({0: [1, 2], 2: [0]})
+    assert g.num_vertices == 3
+    assert g.neighbors(0).tolist() == [1, 2]
+    assert g.neighbors(1).tolist() == []
+
+
+def test_to_edge_list_roundtrip(diamond_graph):
+    edges = to_edge_list(diamond_graph)
+    g2 = from_edge_list(edges, num_vertices=4)
+    assert g2 == diamond_graph
+
+
+def test_empty_edge_list():
+    g = from_edge_list([], num_vertices=2)
+    assert g.num_edges == 0
+
+
+def test_from_networkx_undirected_symmetrizes():
+    import networkx as nx
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(3))
+    nxg.add_edge(0, 1)
+    g = from_networkx(nxg)
+    assert g.is_symmetric()
+    assert g.num_edges == 2
+
+
+def test_from_networkx_relabels_nodes():
+    import networkx as nx
+
+    nxg = nx.DiGraph()
+    nxg.add_edge(10, 20)
+    g = from_networkx(nxg)
+    assert g.num_vertices == 2
+    assert g.num_edges == 1

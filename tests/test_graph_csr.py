@@ -1,0 +1,134 @@
+"""CSRGraph structure, validation, and derived graphs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, from_edge_list
+
+
+def test_basic_counts(diamond_graph):
+    assert diamond_graph.num_vertices == 4
+    assert diamond_graph.num_edges == 5
+
+
+def test_degrees(diamond_graph):
+    assert diamond_graph.degrees.tolist() == [3, 1, 1, 0]
+    assert diamond_graph.degree(0) == 3
+    assert diamond_graph.degree(3) == 0
+
+
+def test_neighbor_range_matches_weaver_registration_triple(diamond_graph):
+    start, end = diamond_graph.neighbor_range(0)
+    assert (start, end) == (0, 3)
+    assert diamond_graph.neighbors(0).tolist() == [1, 2, 3]
+
+
+def test_neighbors_sorted_within_vertex():
+    g = from_edge_list([(0, 3), (0, 1), (0, 2)], num_vertices=4)
+    assert g.neighbors(0).tolist() == [1, 2, 3]
+
+
+def test_weights_default_unit(diamond_graph):
+    assert not diamond_graph.has_weights
+    assert np.all(diamond_graph.weights == 1.0)
+
+
+def test_explicit_weights_roundtrip():
+    g = from_edge_list([(0, 1, 2.5), (1, 0, 0.5)], num_vertices=2)
+    assert g.has_weights
+    assert g.edge_weights(0).tolist() == [2.5]
+
+
+def test_edge_sources(diamond_graph):
+    assert diamond_graph.edge_sources().tolist() == [0, 0, 0, 1, 2]
+
+
+def test_reverse_transposes(diamond_graph):
+    rev = diamond_graph.reverse()
+    assert rev.num_edges == diamond_graph.num_edges
+    assert rev.neighbors(3).tolist() == [0, 1, 2]
+    assert rev.neighbors(0).tolist() == []
+
+
+def test_reverse_is_cached_and_involutive(diamond_graph):
+    rev = diamond_graph.reverse()
+    assert rev.reverse() is diamond_graph
+    assert diamond_graph.reverse() is rev
+
+
+def test_reverse_preserves_weights():
+    g = from_edge_list([(0, 1, 3.0), (2, 1, 7.0)], num_vertices=3)
+    rev = g.reverse()
+    assert sorted(rev.edge_weights(1).tolist()) == [3.0, 7.0]
+
+
+def test_reverse_orders_incoming_by_source():
+    g = from_edge_list([(2, 0), (1, 0), (3, 0)], num_vertices=4)
+    assert g.reverse().neighbors(0).tolist() == [1, 2, 3]
+
+
+def test_undirected_symmetrizes(diamond_graph):
+    und = diamond_graph.undirected()
+    assert und.is_symmetric()
+    assert und.num_edges == 10
+
+
+def test_is_symmetric_detects_asymmetry(diamond_graph):
+    assert not diamond_graph.is_symmetric()
+
+
+def test_edges_iteration(diamond_graph):
+    edges = list(diamond_graph.edges())
+    assert edges[0] == (0, 1, 1.0)
+    assert len(edges) == 5
+
+
+def test_equality():
+    a = from_edge_list([(0, 1)], num_vertices=2)
+    b = from_edge_list([(0, 1)], num_vertices=2)
+    c = from_edge_list([(1, 0)], num_vertices=2)
+    assert a == b
+    assert a != c
+
+
+def test_empty_graph():
+    g = from_edge_list([], num_vertices=3)
+    assert g.num_vertices == 3
+    assert g.num_edges == 0
+    assert g.degrees.tolist() == [0, 0, 0]
+
+
+# ----------------------------------------------------------------------
+# Validation errors
+# ----------------------------------------------------------------------
+def test_rejects_bad_row_ptr_start():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([1, 2]), np.array([0, 1]))
+
+
+def test_rejects_row_ptr_edge_mismatch():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 3]), np.array([0]))
+
+
+def test_rejects_decreasing_row_ptr():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+
+def test_rejects_out_of_range_col():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 1]), np.array([5]))
+
+
+def test_rejects_weight_shape_mismatch():
+    with pytest.raises(GraphError):
+        CSRGraph(np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+
+def test_rejects_vertex_out_of_range(diamond_graph):
+    with pytest.raises(GraphError):
+        diamond_graph.degree(4)
+    with pytest.raises(GraphError):
+        diamond_graph.neighbors(-1)

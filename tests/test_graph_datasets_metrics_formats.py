@@ -1,0 +1,173 @@
+"""Dataset analogs (Table III), degree metrics, storage-format interface."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    PAPER_DATASETS,
+    dataset,
+    dataset_names,
+    degree_histogram,
+    degree_skewness,
+    edge_fraction_by_degree,
+    from_edge_list,
+    gini_coefficient,
+)
+from repro.graph.datasets import dataset_spec
+from repro.graph.formats import (
+    CSRFormatInterface,
+    SplitVertexFormatInterface,
+)
+from repro.graph.metrics import average_degree, max_degree
+
+
+# ----------------------------------------------------------------------
+# Datasets
+# ----------------------------------------------------------------------
+def test_nine_datasets_like_table3():
+    assert len(dataset_names()) == 9
+
+
+def test_dataset_aliases():
+    assert dataset("d_bh", scale=0.5).num_vertices == dataset(
+        "bio-human", scale=0.5
+    ).num_vertices
+
+
+def test_unknown_dataset_rejected():
+    with pytest.raises(GraphError):
+        dataset("not-a-graph")
+    with pytest.raises(GraphError):
+        dataset_spec("nope")
+
+
+def test_dataset_scale_must_be_positive():
+    with pytest.raises(GraphError):
+        dataset("bio-human", scale=0)
+
+
+def test_dataset_specs_carry_paper_counts():
+    spec = dataset_spec("hollywood")
+    assert spec.paper_vertices == 2_180_653
+    assert spec.paper_edges == 228_985_632
+
+
+def test_bio_family_denser_than_road():
+    bio = dataset("bio-human", scale=0.5)
+    road = dataset("road-ca", scale=0.5)
+    assert average_degree(bio) > 3 * average_degree(road)
+
+
+def test_powerlaw_families_are_skewed():
+    for key in ("graph500", "collab", "hollywood", "web-uk", "web-wiki"):
+        g = dataset(key, scale=0.4)
+        assert degree_skewness(g) > 0.5, key
+
+
+def test_road_family_flat():
+    g = dataset("road-central", scale=0.5)
+    assert g.degrees.max() <= 4
+
+
+def test_all_datasets_instantiate_deterministically():
+    for key in dataset_names():
+        a = PAPER_DATASETS[key].instantiate(0.3)
+        b = PAPER_DATASETS[key].instantiate(0.3)
+        assert a == b, key
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+def test_skewness_zero_for_regular(small_chain):
+    from repro.graph import complete_graph
+
+    assert degree_skewness(complete_graph(8)) == 0.0
+
+
+def test_skewness_positive_for_star(small_star):
+    assert degree_skewness(small_star) > 3.0
+
+
+def test_gini_bounds(small_powerlaw, small_road):
+    assert 0.0 <= gini_coefficient(small_road) < gini_coefficient(
+        small_powerlaw
+    ) <= 1.0
+
+
+def test_degree_histogram_sums_to_vertices(small_powerlaw):
+    values, counts = degree_histogram(small_powerlaw)
+    assert counts.sum() == small_powerlaw.num_vertices
+
+
+def test_edge_fraction_sums_to_one(small_powerlaw):
+    _, fractions = edge_fraction_by_degree(small_powerlaw)
+    assert np.isclose(fractions.sum(), 1.0)
+
+
+def test_max_and_average_degree(diamond_graph):
+    assert max_degree(diamond_graph) == 3
+    assert average_degree(diamond_graph) == pytest.approx(5 / 4)
+
+
+def test_empty_graph_metrics():
+    g = from_edge_list([], num_vertices=0)
+    assert degree_skewness(g) == 0.0
+    assert gini_coefficient(g) == 0.0
+    assert max_degree(g) == 0
+
+
+# ----------------------------------------------------------------------
+# Storage-format interface
+# ----------------------------------------------------------------------
+def test_csr_interface_get_neighbor(diamond_graph):
+    fmt = CSRFormatInterface(diamond_graph)
+    assert fmt.get_neighbor(0) == (0, 3)
+    assert fmt.num_vertices == 4
+    assert fmt.num_edges == 5
+
+
+def test_csr_interface_get_edge(diamond_graph):
+    fmt = CSRFormatInterface(diamond_graph)
+    assert fmt.get_edge(0) == (0, 1, 1.0)
+    assert fmt.get_edge(4) == (2, 3, 1.0)
+
+
+def test_csr_interface_rejects_bad_eid(diamond_graph):
+    with pytest.raises(GraphError):
+        CSRFormatInterface(diamond_graph).get_edge(99)
+
+
+def test_split_vertex_interface_bounds_degree(small_star):
+    fmt = SplitVertexFormatInterface(small_star, max_degree=8)
+    # hub (40 edges) split into ceil(40/8)=5 entries + 40 leaves
+    assert fmt.num_vertices == 45
+    for sid in range(fmt.num_vertices):
+        start, end = fmt.get_neighbor(sid)
+        assert end - start <= 8
+
+
+def test_split_vertex_interface_covers_all_edges(small_star):
+    fmt = SplitVertexFormatInterface(small_star, max_degree=8)
+    covered = []
+    for sid in range(fmt.num_vertices):
+        start, end = fmt.get_neighbor(sid)
+        covered.extend(range(start, end))
+    assert sorted(covered) == list(range(small_star.num_edges))
+
+
+def test_split_vertex_physical_mapping(small_star):
+    fmt = SplitVertexFormatInterface(small_star, max_degree=8)
+    owners = {fmt.physical_vertex(s) for s in range(5)}
+    assert owners == {0}  # first five splits all belong to the hub
+
+
+def test_split_vertex_rejects_bad_args(small_star):
+    with pytest.raises(GraphError):
+        SplitVertexFormatInterface(small_star, max_degree=0)
+    fmt = SplitVertexFormatInterface(small_star, max_degree=8)
+    with pytest.raises(GraphError):
+        fmt.get_neighbor(999)
+    with pytest.raises(GraphError):
+        fmt.physical_vertex(-1)

@@ -1,0 +1,163 @@
+"""Synthetic generator families (workload shapes of Table III)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import (
+    chain_graph,
+    complete_graph,
+    dense_community_graph,
+    powerlaw_family,
+    powerlaw_graph,
+    random_graph,
+    rmat_graph,
+    road_grid_graph,
+    star_graph,
+)
+from repro.graph.metrics import degree_skewness
+
+
+def test_powerlaw_edge_budget():
+    g = powerlaw_graph(100, 500, seed=1, symmetric=False)
+    assert g.num_vertices == 100
+    assert g.num_edges == 500
+
+
+def test_powerlaw_symmetric_doubles_edges():
+    g = powerlaw_graph(100, 500, seed=1, symmetric=True)
+    assert g.num_edges == 1000
+
+
+def test_powerlaw_deterministic():
+    a = powerlaw_graph(80, 300, seed=9)
+    b = powerlaw_graph(80, 300, seed=9)
+    assert a == b
+
+
+def test_powerlaw_is_skewed():
+    g = powerlaw_graph(500, 3000, exponent=1.9, seed=2)
+    assert degree_skewness(g) > 1.0
+
+
+def test_powerlaw_no_self_loops():
+    g = powerlaw_graph(50, 400, seed=3)
+    assert np.all(g.edge_sources() != g.col_idx)
+
+
+def test_powerlaw_rejects_bad_args():
+    with pytest.raises(GraphError):
+        powerlaw_graph(1, 10)
+    with pytest.raises(GraphError):
+        powerlaw_graph(10, 0)
+    with pytest.raises(GraphError):
+        powerlaw_graph(10, 10, exponent=0.5)
+
+
+def test_powerlaw_family_grows_skewness():
+    family = powerlaw_family([50, 100, 400], 1200, seed=5)
+    skews = [degree_skewness(g) for g in family]
+    assert all(g.num_edges == 2400 for g in family)
+    assert skews[-1] > skews[0]
+
+
+def test_rmat_counts():
+    g = rmat_graph(6, edge_factor=4, seed=1, symmetric=False)
+    assert g.num_vertices == 64
+    assert 0 < g.num_edges <= 256
+
+
+def test_rmat_skewed():
+    g = rmat_graph(8, edge_factor=8, seed=2)
+    assert degree_skewness(g) > 0.5
+
+
+def test_rmat_rejects_bad_scale():
+    with pytest.raises(GraphError):
+        rmat_graph(0)
+    with pytest.raises(GraphError):
+        rmat_graph(30)
+
+
+def test_road_grid_low_degree():
+    g = road_grid_graph(10, seed=1)
+    assert g.num_vertices == 100
+    assert g.degrees.max() <= 4
+    assert abs(degree_skewness(g)) < 2.0
+
+
+def test_road_grid_symmetric():
+    g = road_grid_graph(6, seed=1, drop_fraction=0.0)
+    assert g.is_symmetric()
+
+
+def test_dense_community_high_average_degree():
+    g = dense_community_graph(100, 30, seed=4)
+    assert g.num_vertices == 100
+    assert g.degrees.mean() > 10
+
+
+def test_star_graph_shape():
+    g = star_graph(5)
+    assert g.num_vertices == 6
+    assert g.degree(0) == 5
+    assert all(g.degree(v) == 1 for v in range(1, 6))
+
+
+def test_chain_graph_degrees():
+    g = chain_graph(5)
+    assert g.degrees.tolist() == [1, 2, 2, 2, 1]
+
+
+def test_complete_graph():
+    g = complete_graph(4)
+    assert g.num_edges == 12
+    assert degree_skewness(g) == 0.0
+
+
+def test_random_graph_counts():
+    g = random_graph(50, 200, seed=6)
+    assert g.num_vertices == 50
+    assert 0 < g.num_edges <= 200  # dedupe may drop a few
+
+
+def test_generators_validate():
+    with pytest.raises(GraphError):
+        road_grid_graph(1)
+    with pytest.raises(GraphError):
+        star_graph(0)
+    with pytest.raises(GraphError):
+        chain_graph(1)
+    with pytest.raises(GraphError):
+        complete_graph(1)
+    with pytest.raises(GraphError):
+        dense_community_graph(1, 1)
+
+
+def test_community_graph_structure():
+    from repro.graph import community_graph
+
+    g = community_graph(4, 25, 60, 20, seed=2)
+    assert g.num_vertices == 100
+    assert g.is_symmetric()
+
+
+def test_community_graph_labels_are_local():
+    from repro.graph import community_graph
+    from repro.graph.reorder import locality_score, random_order, \
+        apply_permutation
+
+    g = community_graph(10, 30, 80, 30, seed=3)
+    shuffled = apply_permutation(g, random_order(g, seed=1))
+    assert locality_score(g) < locality_score(shuffled)
+
+
+def test_community_graph_validation():
+    from repro.graph import community_graph
+
+    with pytest.raises(GraphError):
+        community_graph(0, 10, 5, 5)
+    with pytest.raises(GraphError):
+        community_graph(2, 1, 5, 5)
+    with pytest.raises(GraphError):
+        community_graph(2, 10, 0, 5)

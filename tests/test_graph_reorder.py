@@ -1,0 +1,93 @@
+"""Vertex reordering utilities: permutation algebra + locality."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.frontend import reference
+from repro.graph import chain_graph, from_edge_list, powerlaw_graph
+from repro.graph.reorder import (
+    apply_permutation,
+    bfs_order,
+    degree_order,
+    locality_score,
+    random_order,
+)
+
+
+@pytest.fixture
+def g():
+    return powerlaw_graph(80, 400, seed=11).undirected()
+
+
+def test_apply_identity(g):
+    perm = np.arange(g.num_vertices)
+    assert apply_permutation(g, perm) == g
+
+
+def test_apply_permutation_preserves_structure(g):
+    perm = random_order(g, seed=3)
+    rg = apply_permutation(g, perm)
+    assert rg.num_edges == g.num_edges
+    # degree multiset preserved
+    assert sorted(rg.degrees.tolist()) == sorted(g.degrees.tolist())
+    # specific vertex keeps its degree under the relabeling
+    v = 5
+    assert rg.degree(int(perm[v])) == g.degree(v)
+
+
+def test_apply_permutation_preserves_pagerank(g):
+    perm = random_order(g, seed=7)
+    rg = apply_permutation(g, perm)
+    pr = reference.pagerank(g, iterations=20)
+    pr_r = reference.pagerank(rg, iterations=20)
+    np.testing.assert_allclose(pr_r[perm], pr, atol=1e-9)
+
+
+def test_permutation_validation(g):
+    with pytest.raises(GraphError):
+        apply_permutation(g, np.zeros(3))
+    with pytest.raises(GraphError):
+        apply_permutation(g, np.zeros(g.num_vertices, dtype=int))
+
+
+def test_degree_order_places_hubs_first(g):
+    perm = degree_order(g)
+    rg = apply_permutation(g, perm)
+    degs = rg.degrees
+    assert degs[0] == g.degrees.max()
+    assert np.all(np.diff(degs) <= 0)  # non-increasing
+
+
+def test_degree_order_ascending(g):
+    rg = apply_permutation(g, degree_order(g, descending=False))
+    assert np.all(np.diff(rg.degrees) >= 0)
+
+
+def test_bfs_order_on_chain_is_near_identity():
+    g = chain_graph(12)
+    perm = bfs_order(g, source=0)
+    assert perm.tolist() == list(range(12))
+
+
+def test_bfs_order_covers_components():
+    g = from_edge_list([(0, 1), (1, 0), (3, 4), (4, 3)], num_vertices=5)
+    perm = bfs_order(g, source=0)
+    assert sorted(perm.tolist()) == list(range(5))
+
+
+def test_bfs_order_validation():
+    with pytest.raises(GraphError):
+        bfs_order(chain_graph(3), source=9)
+
+
+def test_bfs_order_improves_locality_over_random(g):
+    shuffled = apply_permutation(g, random_order(g, seed=1))
+    ordered = apply_permutation(shuffled, bfs_order(shuffled))
+    assert locality_score(ordered) < locality_score(shuffled)
+
+
+def test_locality_score_bounds():
+    g = chain_graph(10)
+    assert 0.0 < locality_score(g) < 1.0
+    assert locality_score(from_edge_list([], num_vertices=3)) == 0.0

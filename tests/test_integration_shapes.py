@@ -1,0 +1,193 @@
+"""Integration tests asserting the paper's *qualitative* results hold on
+the simulator — who wins, in which regime (Section V headline shapes).
+
+These are the claims EXPERIMENTS.md reports quantitatively; here they
+gate regressions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import make_algorithm
+from repro.bench import run_single
+from repro.frontend import GraphProcessor
+from repro.graph import powerlaw_graph, road_grid_graph
+from repro.sim import GPUConfig
+from repro.sim.instructions import Phase
+from repro.sim.stats import StallCat
+
+CFG = GPUConfig.vortex_bench()
+SKEWED = powerlaw_graph(800, 4800, exponent=1.9, seed=3)
+ROAD = road_grid_graph(22, seed=5)
+
+
+def cycles(schedule, graph=SKEWED, alg=None, config=CFG, **kw):
+    algorithm = alg or make_algorithm("pagerank", iterations=2)
+    return run_single(algorithm, graph, schedule, config=config,
+                      **kw).stats.total_cycles
+
+
+@pytest.fixture(scope="module")
+def skewed_cycles():
+    return {
+        s: cycles(s)
+        for s in ["vertex_map", "edge_map", "warp_map", "cta_map",
+                  "sparseweaver", "eghw"]
+    }
+
+
+def test_sparseweaver_beats_every_software_scheme_on_skew(skewed_cycles):
+    sw = skewed_cycles["sparseweaver"]
+    for sched in ("vertex_map", "edge_map", "warp_map", "cta_map"):
+        assert sw < skewed_cycles[sched], sched
+
+
+def test_sparseweaver_speedup_over_vm_is_large(skewed_cycles):
+    """Paper Fig. 10: geomean 2.36x over S_vm (PR on skewed graphs is
+    higher; we gate at 2x)."""
+    assert skewed_cycles["vertex_map"] / skewed_cycles["sparseweaver"] > 2.0
+
+
+def test_sparseweaver_beats_eghw_by_factor(skewed_cycles):
+    """Paper Fig. 18: 3.64x geomean over EGHW; gate at 2x."""
+    assert skewed_cycles["eghw"] / skewed_cycles["sparseweaver"] > 2.0
+
+
+def test_vertex_map_wins_on_road_like_graphs():
+    """No skew -> nothing to balance -> overheads dominate (the Fig. 2b
+    lesson that no single software scheme dominates)."""
+    vm = cycles("vertex_map", ROAD)
+    for sched in ("edge_map", "warp_map", "cta_map", "sparseweaver"):
+        assert vm < cycles(sched, ROAD), sched
+
+
+def test_edge_map_pays_double_reads_on_road():
+    """2|E| vs 2|V|+|E| flips the winner on low-skew graphs."""
+    assert cycles("edge_map", ROAD) > cycles("vertex_map", ROAD)
+
+
+def test_memory_ratio_scales_cycles_linearly():
+    """Fig. 12: cycles grow with the GPU:DRAM frequency ratio."""
+    from dataclasses import replace
+
+    series = []
+    for ratio in (1, 3, 6):
+        cfg = replace(CFG, mem_freq_ratio=ratio)
+        series.append(cycles("sparseweaver", config=cfg))
+    assert series[0] < series[1] < series[2]
+    # roughly linear: ratio-6 cycles within [2x, 8x] of ratio-1
+    assert 2.0 < series[2] / series[0] < 8.0
+
+
+def test_table_latency_is_hidden():
+    """Fig. 13: SparseWeaver performance is flat as the work-table read
+    latency grows 10 -> 160. The paper runs this sweep on a wider
+    (32-warp) configuration precisely because warp-level parallelism is
+    the hiding mechanism; we use 16 warps."""
+    from dataclasses import replace
+
+    wide = replace(CFG, warps_per_core=16)
+    lat10 = cycles("sparseweaver",
+                   config=replace(wide, weaver_table_latency=10))
+    lat160 = cycles("sparseweaver",
+                    config=replace(wide, weaver_table_latency=160))
+    assert lat160 < 1.25 * lat10
+
+
+def test_l3_adds_little():
+    """Fig. 14: adding an L3 behind the L2 has no significant impact.
+
+    The L3 is scaled with the dataset analog (like L1/L2): it must stay
+    smaller than the streaming working set, as the paper's caches are
+    dwarfed by its hundred-megabyte graphs."""
+    from dataclasses import replace
+
+    from repro.sim import CacheConfig
+    from repro.sim.config import KB
+
+    base = cycles("sparseweaver")
+    with_l3 = cycles(
+        "sparseweaver",
+        config=replace(CFG, l3=CacheConfig(64 * KB, hit_latency=40)),
+    )
+    assert abs(with_l3 - base) / base < 0.10
+
+
+def test_skewness_sensitivity_trend():
+    """Fig. 11b: S_em and SparseWeaver gain over S_vm as skew rises.
+
+    Mirrors the paper's setup: fixed |E|, growing |V| (so skew grows),
+    with |V| always at least ~1.5x the grid so utilization stays full
+    — the effect isolated is the degree tail, not occupancy."""
+    from repro.graph import powerlaw_family
+    from repro.sim import CacheConfig, GPUConfig
+    from repro.sim.config import KB
+
+    cfg = GPUConfig(
+        num_sockets=1, cores_per_socket=1, warps_per_core=4,
+        l1=CacheConfig(4 * KB, ways=4),
+        l2=CacheConfig(32 * KB, hit_latency=20),
+    )
+    family = powerlaw_family([200, 240, 320, 400, 800, 1600], 19000,
+                             exponent=2.1, seed=7)
+    low_skew, high_skew = family[0], family[2]
+
+    def alg():
+        return make_algorithm("pagerank", iterations=1)
+
+    def speedup(schedule, g):
+        return (cycles("vertex_map", g, alg=alg(), config=cfg)
+                / cycles(schedule, g, alg=alg(), config=cfg))
+
+    assert speedup("sparseweaver", high_skew) > speedup(
+        "sparseweaver", low_skew
+    )
+    assert speedup("edge_map", high_skew) > speedup("edge_map", low_skew)
+
+
+def test_bfs_filters_favor_sparseweaver():
+    """Paper V-A: BFS/SSSP filters create imbalance SparseWeaver wins."""
+    g = SKEWED.undirected()
+    vm = cycles("vertex_map", g, alg=make_algorithm("bfs", source=0))
+    sw = cycles("sparseweaver", g, alg=make_algorithm("bfs", source=0))
+    assert sw < vm
+
+
+def test_stall_taxonomy_differs_by_schedule():
+    """Fig. 4: scheduling schemes introduce *different* stall mixes —
+    shared-memory stalls appear only in schemes that use shared memory."""
+    vm = run_single(make_algorithm("pagerank", iterations=1), SKEWED,
+                    "vertex_map", config=CFG).stats
+    wm = run_single(make_algorithm("pagerank", iterations=1), SKEWED,
+                    "warp_map", config=CFG).stats
+    assert vm.stall_cycles.get(StallCat.SHARED, 0) == 0
+    assert wm.stall_cycles.get(StallCat.SHARED, 0) > 0
+
+
+def test_phase_breakdown_has_five_stages():
+    """Fig. 17's stages all appear for a SparseWeaver run."""
+    stats = run_single(make_algorithm("pagerank", iterations=1), SKEWED,
+                       "sparseweaver", config=CFG).stats
+    for phase in (Phase.INIT, Phase.REGISTRATION, Phase.SCHEDULE,
+                  Phase.EDGE_ACCESS, Phase.GATHER, Phase.APPLY):
+        assert stats.phase_cycles.get(phase, 0) > 0, phase
+
+
+def test_eghw_time_sits_in_unit_stalls():
+    """Fig. 18: EGHW loses in the distribution stage (waiting on the
+    unit's serial memory reads)."""
+    stats = run_single(make_algorithm("pagerank", iterations=1), SKEWED,
+                       "eghw", config=CFG).stats
+    assert stats.stall_cycles.get(StallCat.EGHW, 0) > 0
+
+
+def test_warp_iteration_counter_tracks_analytic_ordering():
+    from repro.sched import analytic
+
+    vm_run = run_single(make_algorithm("pagerank", iterations=1), SKEWED,
+                        "vertex_map", config=CFG,
+                        time_init=False, time_apply=False)
+    sw_run = run_single(make_algorithm("pagerank", iterations=1), SKEWED,
+                        "sparseweaver", config=CFG,
+                        time_init=False, time_apply=False)
+    assert vm_run.stats.warp_iterations > sw_run.stats.warp_iterations

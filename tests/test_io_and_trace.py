@@ -1,0 +1,162 @@
+"""Graph persistence and the execution tracer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import from_edge_list, powerlaw_graph
+from repro.graph.io import (
+    load_edge_list,
+    load_npz,
+    save_edge_list,
+    save_npz,
+)
+from repro.sim import GPU, GPUConfig, MemoryMap
+from repro.sim.instructions import Op, Phase, alu, load
+from repro.sim.trace import ExecutionTracer
+
+
+# ----------------------------------------------------------------------
+# NPZ round trip
+# ----------------------------------------------------------------------
+def test_npz_roundtrip(tmp_path, small_powerlaw):
+    path = tmp_path / "g.npz"
+    save_npz(small_powerlaw, path)
+    loaded = load_npz(path)
+    assert loaded == small_powerlaw
+
+
+def test_npz_roundtrip_weighted(tmp_path):
+    g = from_edge_list([(0, 1, 2.5), (1, 2, 0.5)], num_vertices=3)
+    path = tmp_path / "w.npz"
+    save_npz(g, path)
+    loaded = load_npz(path)
+    assert loaded.has_weights
+    assert loaded.weights.tolist() == [2.5, 0.5]
+
+
+def test_npz_unweighted_stays_unweighted(tmp_path, small_chain):
+    path = tmp_path / "c.npz"
+    save_npz(small_chain, path)
+    assert not load_npz(path).has_weights
+
+
+def test_npz_missing_file(tmp_path):
+    with pytest.raises(GraphError):
+        load_npz(tmp_path / "nope.npz")
+
+
+def test_npz_missing_arrays(tmp_path):
+    path = tmp_path / "bad.npz"
+    np.savez(path, row_ptr=np.array([0, 0]))
+    with pytest.raises(GraphError):
+        load_npz(path)
+
+
+# ----------------------------------------------------------------------
+# Edge-list text
+# ----------------------------------------------------------------------
+def test_edge_list_roundtrip(tmp_path):
+    g = powerlaw_graph(40, 150, seed=3)
+    path = tmp_path / "g.txt"
+    save_edge_list(g, path)
+    loaded = load_edge_list(path)
+    assert loaded == g  # header preserves the vertex count
+
+
+def test_edge_list_weighted_roundtrip(tmp_path):
+    g = from_edge_list([(0, 1, 1.5), (2, 0, 3.0)], num_vertices=3)
+    path = tmp_path / "w.txt"
+    save_edge_list(g, path)
+    loaded = load_edge_list(path)
+    assert loaded.weights.tolist() == [1.5, 3.0]
+
+
+def test_edge_list_comments_and_blanks(tmp_path):
+    path = tmp_path / "c.txt"
+    path.write_text("# a comment\n\n0 1\n1 2\n")
+    g = load_edge_list(path)
+    assert g.num_edges == 2
+    assert g.num_vertices == 3
+
+
+def test_edge_list_explicit_vertex_count(tmp_path):
+    path = tmp_path / "v.txt"
+    path.write_text("0 1\n")
+    assert load_edge_list(path, num_vertices=10).num_vertices == 10
+
+
+def test_edge_list_malformed_rejected(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("0 1 2 3\n")
+    with pytest.raises(GraphError):
+        load_edge_list(path)
+    path.write_text("zero one\n")
+    with pytest.raises(GraphError):
+        load_edge_list(path)
+
+
+# ----------------------------------------------------------------------
+# Execution tracer
+# ----------------------------------------------------------------------
+def run_traced(tracer):
+    cfg = GPUConfig.vortex_tiny()
+    gpu = GPU(cfg)
+    mm = MemoryMap()
+    region = mm.alloc("r", 64, 8)
+
+    def factory(ctx):
+        def k():
+            yield alu(Phase.INIT, 2)
+            yield load(Phase.GATHER, region, np.array([0]))
+        return k()
+
+    return gpu.run_kernel(factory, tracer=tracer)
+
+
+def test_tracer_records_issues():
+    tracer = ExecutionTracer()
+    stats = run_traced(tracer)
+    assert len(tracer) == stats.instructions
+    ops = {e.op for e in tracer.events}
+    assert ops == {Op.ALU, Op.LOAD}
+
+
+def test_tracer_latency_and_filter():
+    tracer = ExecutionTracer()
+    run_traced(tracer)
+    loads = tracer.filter(op=Op.LOAD)
+    # the first load is a cold DRAM miss; later warps may hit L1
+    assert loads and any(e.latency >= 100 for e in loads)
+    assert tracer.filter(core=0)
+    assert tracer.filter(warp=99) == []
+
+
+def test_tracer_bound_drops():
+    tracer = ExecutionTracer(max_events=1)
+    run_traced(tracer)
+    assert len(tracer) == 1
+    assert tracer.dropped > 0
+
+
+def test_tracer_timeline_text():
+    tracer = ExecutionTracer()
+    run_traced(tracer)
+    text = tracer.timeline(core=0)
+    assert "ALU" in text and "LOAD" in text
+
+
+def test_occupancy_chart():
+    tracer = ExecutionTracer()
+    run_traced(tracer)
+    chart = tracer.occupancy_chart(core=0, buckets=20)
+    lines = chart.splitlines()
+    assert lines[0].startswith("issue density")
+    assert any(line.startswith("w0") for line in lines)
+    # rows are uniform width
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_occupancy_chart_empty():
+    assert ExecutionTracer().occupancy_chart() == "(no events)"

@@ -1,0 +1,96 @@
+"""Cross-algorithm invariants on random graphs (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import kcore_reference, make_algorithm
+from repro.frontend import GraphProcessor, reference
+from repro.graph import from_edge_list
+from repro.sim import GPUConfig
+
+CFG = GPUConfig.vortex_tiny()
+
+
+@st.composite
+def symmetric_graphs(draw):
+    n = draw(st.integers(min_value=3, max_value=14))
+    m = draw(st.integers(min_value=2, max_value=30))
+    edges = set()
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.add((u, v))
+            edges.add((v, u))
+    if not edges:
+        edges = {(0, 1), (1, 0)}
+    return from_edge_list(sorted(edges), num_vertices=n)
+
+
+@given(symmetric_graphs())
+@settings(max_examples=40, deadline=None)
+def test_pagerank_mass_is_conserved_modulo_dangling(graph):
+    pr = reference.pagerank(graph, iterations=30)
+    assert np.all(pr > 0)
+    assert pr.sum() <= 1.0 + 1e-9
+
+
+@given(symmetric_graphs())
+@settings(max_examples=40, deadline=None)
+def test_unit_weight_sssp_equals_bfs(graph):
+    dist = reference.sssp(graph, 0)
+    levels = reference.bfs_levels(graph, 0)
+    reached = levels >= 0
+    np.testing.assert_allclose(dist[reached], levels[reached])
+    assert np.all(np.isinf(dist[~reached]))
+
+
+@given(symmetric_graphs())
+@settings(max_examples=40, deadline=None)
+def test_bfs_levels_differ_by_at_most_one_across_edges(graph):
+    levels = reference.bfs_levels(graph, 0)
+    for u, v, _ in graph.edges():
+        if levels[u] >= 0 and levels[v] >= 0:
+            assert abs(levels[u] - levels[v]) <= 1
+
+
+@given(symmetric_graphs())
+@settings(max_examples=40, deadline=None)
+def test_cc_labels_are_component_minima(graph):
+    labels = reference.connected_components(graph)
+    levels = reference.bfs_levels(graph, 0)
+    comp0 = levels >= 0
+    # the component containing vertex 0 is labeled 0
+    assert np.all(labels[comp0] == 0)
+    # labels are idempotent under another propagation round
+    assert np.all(labels[labels] == labels)
+
+
+@given(symmetric_graphs())
+@settings(max_examples=30, deadline=None)
+def test_core_numbers_bounded_by_degree(graph):
+    core = kcore_reference(graph)
+    assert np.all(core <= graph.degrees)
+    assert np.all(core >= 0)
+    # a vertex in the k-core has >= k neighbors with core >= k
+    for v in range(graph.num_vertices):
+        k = core[v]
+        if k > 0:
+            strong = sum(1 for u in graph.neighbors(v) if core[u] >= k)
+            assert strong >= k
+
+
+@given(symmetric_graphs())
+@settings(max_examples=20, deadline=None)
+def test_simulated_bfs_equals_simulated_sssp_on_unit_weights(graph):
+    bfs = GraphProcessor(
+        make_algorithm("bfs", source=0), schedule="sparseweaver",
+        config=CFG,
+    ).run(graph)
+    sssp = GraphProcessor(
+        make_algorithm("sssp", source=0), schedule="sparseweaver",
+        config=CFG,
+    ).run(graph)
+    reached = bfs.values >= 0
+    np.testing.assert_allclose(sssp.values[reached],
+                               bfs.values[reached])

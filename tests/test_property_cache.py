@@ -1,0 +1,65 @@
+"""Property test: the cache model vs a reference per-set LRU."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import Cache, CacheConfig
+
+
+class ReferenceLRU:
+    """Dict-of-OrderedDict set-associative LRU."""
+
+    def __init__(self, sets: int, ways: int) -> None:
+        self.sets = [OrderedDict() for _ in range(sets)]
+        self.ways = ways
+        self.num_sets = sets
+
+    def lookup(self, line: int) -> bool:
+        s = self.sets[line % self.num_sets]
+        if line in s:
+            s.move_to_end(line)
+            return True
+        s[line] = True
+        if len(s) > self.ways:
+            s.popitem(last=False)
+        return False
+
+
+@given(
+    st.integers(min_value=0, max_value=2).map(lambda p: 2 ** p),  # ways
+    st.integers(min_value=0, max_value=2).map(lambda p: 2 ** p),  # sets
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1,
+             max_size=200),
+)
+@settings(max_examples=80, deadline=None)
+def test_cache_matches_reference_lru(ways, sets, accesses):
+    cache = Cache(
+        CacheConfig(64 * ways * sets, line_bytes=64, ways=ways), "t"
+    )
+    ref = ReferenceLRU(sets, ways)
+    for line in accesses:
+        assert cache.lookup(line) == ref.lookup(line)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                max_size=150))
+@settings(max_examples=50, deadline=None)
+def test_occupancy_bounded_by_capacity(accesses):
+    cache = Cache(CacheConfig(4 * 64 * 2, line_bytes=64, ways=2), "t")
+    for line in accesses:
+        cache.lookup(line)
+    assert cache.occupancy <= cache.config.num_lines
+
+
+@given(st.lists(st.integers(min_value=0, max_value=30), min_size=1,
+                max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_second_touch_within_capacity_hits(accesses):
+    """With capacity > distinct lines, every re-touch is a hit."""
+    cache = Cache(CacheConfig(64 * 64, line_bytes=64, ways=64), "t")
+    seen = set()
+    for line in accesses:
+        hit = cache.lookup(line)
+        assert hit == (line in seen)
+        seen.add(line)

@@ -1,0 +1,107 @@
+"""Property-based tests on the graph substrate (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import CSRGraph, from_edge_list
+from repro.graph.metrics import degree_skewness, gini_coefficient
+from repro.sched import analytic
+from repro.sim import GPUConfig
+
+CFG = GPUConfig(num_sockets=1, cores_per_socket=1, warps_per_core=2,
+                threads_per_warp=4)
+
+
+@st.composite
+def edge_lists(draw, max_vertices=24, max_edges=60):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    edges = [
+        (draw(st.integers(0, n - 1)), draw(st.integers(0, n - 1)))
+        for _ in range(m)
+    ]
+    return n, edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_roundtrip_preserves_multiset(data):
+    n, edges = data
+    g = from_edge_list(edges, num_vertices=n)
+    rebuilt = sorted((int(s), int(d)) for s, d, _ in g.edges())
+    assert rebuilt == sorted(edges)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_row_ptr_invariants(data):
+    n, edges = data
+    g = from_edge_list(edges, num_vertices=n)
+    assert g.row_ptr[0] == 0
+    assert g.row_ptr[-1] == g.num_edges
+    assert np.all(np.diff(g.row_ptr) >= 0)
+    assert int(g.degrees.sum()) == g.num_edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_reverse_is_involution(data):
+    n, edges = data
+    g = from_edge_list(edges, num_vertices=n)
+    rr = CSRGraph(g.reverse().row_ptr, g.reverse().col_idx).reverse()
+    assert sorted(g.edges()) == sorted(rr.edges())
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_reverse_preserves_edge_count_and_degrees_sum(data):
+    n, edges = data
+    g = from_edge_list(edges, num_vertices=n)
+    rev = g.reverse()
+    assert rev.num_edges == g.num_edges
+    assert int(rev.degrees.sum()) == int(g.degrees.sum())
+    assert np.array_equal(
+        np.bincount(g.col_idx, minlength=n), rev.degrees
+    )
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_undirected_is_symmetric(data):
+    n, edges = data
+    g = from_edge_list(edges, num_vertices=n)
+    assert g.undirected().is_symmetric()
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_gini_in_unit_interval(data):
+    n, edges = data
+    g = from_edge_list(edges, num_vertices=n)
+    assert 0.0 <= gini_coefficient(g) <= 1.0
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_warp_iteration_model_ordering(data):
+    """For any graph: vm >= wm >= block-level >= em-rounded-down.
+
+    Pooling work at coarser granularity can only reduce lockstep
+    rounds; edge mapping is the balanced optimum.
+    """
+    n, edges = data
+    g = from_edge_list(edges, num_vertices=n)
+    vm = analytic.expected_warp_iterations(g, "vertex_map", CFG)
+    wm = analytic.expected_warp_iterations(g, "warp_map", CFG)
+    sw = analytic.expected_warp_iterations(g, "sparseweaver", CFG)
+    em = analytic.expected_warp_iterations(g, "edge_map", CFG)
+    assert vm >= wm >= sw >= em
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_edge_map_rounds_exact(data):
+    n, edges = data
+    g = from_edge_list(edges, num_vertices=n)
+    em = analytic.expected_warp_iterations(g, "edge_map", CFG)
+    assert em == -(-g.num_edges // CFG.threads_per_warp)

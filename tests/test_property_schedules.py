@@ -1,0 +1,72 @@
+"""Property-based end-to-end tests: any random graph, every schedule,
+identical results to the pure reference."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.algorithms import make_algorithm
+from repro.frontend import GraphProcessor, reference
+from repro.graph import from_edge_list
+from repro.sched import ALL_SCHEDULES
+from repro.sim import GPUConfig
+
+CFG = GPUConfig.vortex_tiny()
+
+
+@st.composite
+def random_graphs(draw):
+    n = draw(st.integers(min_value=2, max_value=16))
+    m = draw(st.integers(min_value=1, max_value=40))
+    edges = set()
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v:
+            edges.add((u, v))
+            edges.add((v, u))  # symmetric, like the paper's datasets
+    if not edges:
+        edges = {(0, 1), (1, 0)}
+    return from_edge_list(sorted(edges), num_vertices=n)
+
+
+@given(random_graphs(), st.sampled_from(ALL_SCHEDULES))
+@settings(max_examples=40, deadline=None)
+def test_pagerank_any_graph_any_schedule(graph, schedule):
+    ref = reference.pagerank(graph, iterations=2)
+    res = GraphProcessor(
+        make_algorithm("pagerank", iterations=2), schedule=schedule,
+        config=CFG,
+    ).run(graph)
+    np.testing.assert_allclose(res.values, ref, atol=1e-9)
+
+
+@given(random_graphs(), st.sampled_from(ALL_SCHEDULES))
+@settings(max_examples=40, deadline=None)
+def test_bfs_any_graph_any_schedule(graph, schedule):
+    ref = reference.bfs_levels(graph, 0)
+    res = GraphProcessor(
+        make_algorithm("bfs", source=0), schedule=schedule, config=CFG
+    ).run(graph)
+    assert res.values.tolist() == ref.tolist()
+
+
+@given(random_graphs(), st.sampled_from(ALL_SCHEDULES))
+@settings(max_examples=30, deadline=None)
+def test_cc_any_graph_any_schedule(graph, schedule):
+    ref = reference.connected_components(graph)
+    res = GraphProcessor(
+        make_algorithm("cc"), schedule=schedule, config=CFG
+    ).run(graph)
+    assert res.values.astype(np.int64).tolist() == ref.tolist()
+
+
+@given(random_graphs())
+@settings(max_examples=20, deadline=None)
+def test_all_schedules_agree_on_cycles_being_positive(graph):
+    for schedule in ALL_SCHEDULES:
+        res = GraphProcessor(
+            make_algorithm("pagerank", iterations=1), schedule=schedule,
+            config=CFG,
+        ).run(graph)
+        assert res.total_cycles > 0
+        assert res.stats.instructions > 0

@@ -1,0 +1,158 @@
+"""Closed-form warp-iteration model (Fig. 2a) and Table I data."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.graph import from_edge_list, star_graph
+from repro.sched import analytic
+from repro.sim import GPUConfig
+
+CFG = GPUConfig(num_sockets=1, cores_per_socket=1, warps_per_core=2,
+                threads_per_warp=4)
+
+
+def test_vertex_map_rounds_are_chunk_maxima():
+    # degrees: [3, 1, 0, 0 | 2, 2, 2, 2] with 4-lane warps
+    g = from_edge_list(
+        [(0, 1), (0, 2), (0, 3), (1, 0)]
+        + [(v, (v + 1) % 8) for v in range(4, 8) for _ in (0, 1)],
+        num_vertices=8,
+    )
+    assert analytic.expected_warp_iterations(g, "vertex_map", CFG) == 3 + 2
+
+
+def test_edge_map_rounds_are_edge_count_over_lanes():
+    g = star_graph(10)
+    assert analytic.expected_warp_iterations(g, "edge_map", CFG) == 5  # 20/4
+
+
+def test_warp_map_rounds_are_per_warp_ceil():
+    g = star_graph(7)  # degrees [7, 1*7]: warp0 sum=10, warp1 sum=4
+    assert analytic.expected_warp_iterations(g, "warp_map", CFG) == 3 + 1
+
+
+def test_block_level_schemes_pool_across_warps():
+    g = star_graph(7)
+    cm = analytic.expected_warp_iterations(g, "cta_map", CFG)
+    sw = analytic.expected_warp_iterations(g, "sparseweaver", CFG)
+    assert cm == sw == 4  # ceil(14/4) over one 8-vertex block
+
+
+def test_ordering_vm_ge_wm_ge_blocked():
+    from repro.graph import powerlaw_graph
+
+    g = powerlaw_graph(300, 1500, exponent=1.9, seed=4)
+    vm = analytic.expected_warp_iterations(g, "vertex_map", CFG)
+    wm = analytic.expected_warp_iterations(g, "warp_map", CFG)
+    sw = analytic.expected_warp_iterations(g, "sparseweaver", CFG)
+    em = analytic.expected_warp_iterations(g, "edge_map", CFG)
+    assert vm >= wm >= sw >= em
+
+
+def test_balanced_graph_has_no_vm_penalty():
+    from repro.graph import complete_graph
+
+    g = complete_graph(8)
+    vm = analytic.expected_warp_iterations(g, "vertex_map", CFG)
+    em = analytic.expected_warp_iterations(g, "edge_map", CFG)
+    assert vm == em
+
+
+def test_imbalance_factor_on_star():
+    g = star_graph(64)
+    assert analytic.imbalance_factor(g, CFG) > 1.5
+
+
+def test_paper_aliases_accepted():
+    g = star_graph(8)
+    assert analytic.expected_warp_iterations(
+        g, "s_vm", CFG
+    ) == analytic.expected_warp_iterations(g, "vertex_map", CFG)
+
+
+def test_unknown_schedule_rejected():
+    with pytest.raises(ScheduleError):
+        analytic.expected_warp_iterations(star_graph(4), "nope", CFG)
+
+
+def test_empty_graph_zero_rounds():
+    g = from_edge_list([], num_vertices=0)
+    assert analytic.expected_warp_iterations(g, "vertex_map", CFG) == 0
+
+
+# ----------------------------------------------------------------------
+# Table I
+# ----------------------------------------------------------------------
+def test_table1_has_eight_schemes():
+    rows = analytic.scheme_characteristics(star_graph(8), CFG)
+    assert [r.name for r in rows] == [
+        "S_vm", "S_em", "S_wm", "S_cm", "S_twc", "S_twce", "S_strict",
+        "SparseWeaver",
+    ]
+
+
+def test_table1_memory_formulas():
+    g = star_graph(8)  # V=9, E=16
+    rows = {r.name: r for r in analytic.scheme_characteristics(g, CFG)}
+    assert rows["S_vm"].edge_mem_access == 2 * 9 + 16
+    assert rows["S_em"].edge_mem_access == 2 * 16
+    assert rows["SparseWeaver"].edge_mem_access == 2 * 9 + 16
+
+
+def test_table1_shared_memory_formulas():
+    g = star_graph(8)
+    b = CFG.warps_per_core * CFG.threads_per_warp
+    rows = {r.name: r for r in analytic.scheme_characteristics(g, CFG)}
+    assert rows["S_vm"].shared_mem == 0
+    assert rows["S_wm"].shared_mem == 3 * b
+    assert rows["SparseWeaver"].shared_mem == 4 * b
+    assert rows["S_twce"].shared_mem == 6 * b
+
+
+def test_table1_sparseweaver_is_low_complexity_block_sharing():
+    g = star_graph(8)
+    rows = {r.name: r for r in analytic.scheme_characteristics(g, CFG)}
+    sw = rows["SparseWeaver"]
+    assert sw.sharing_granularity == "Block"
+    assert sw.imbalance == "low"
+    assert sw.registration_complexity == "low"
+    assert sw.distribution_complexity == "low"
+    assert sw.registration_costs == "1, 0, 0, 0"
+    assert sw.distribution_costs == "0, 0, 0"
+
+
+def test_table1_render():
+    text = analytic.characteristics_table(star_graph(8), CFG)
+    assert "SparseWeaver" in text
+    assert "S_twce" in text
+    assert len(text.splitlines()) == 10  # header + rule + 8 schemes
+
+
+def test_memory_access_counts_helper():
+    g = star_graph(8)
+    counts = analytic.memory_access_counts(g)
+    assert counts["edge_map"] == 2 * g.num_edges
+    assert counts["sparseweaver"] == 2 * g.num_vertices + g.num_edges
+
+
+def test_split_vertex_model_bounded_by_width():
+    g = star_graph(64)
+    rounds = analytic.expected_warp_iterations(
+        g, "split_vertex_map", CFG, split_degree=8)
+    vm = analytic.expected_warp_iterations(g, "vertex_map", CFG)
+    assert rounds < vm
+    # every chunk max is <= the split width
+    assert rounds <= 8 * (-(-(64 // 8 + 64) // CFG.threads_per_warp) + 1)
+
+
+def test_split_vertex_model_validation():
+    with pytest.raises(ScheduleError):
+        analytic.expected_warp_iterations(
+            star_graph(4), "split_vertex_map", CFG, split_degree=0)
+
+
+def test_strict_model_equals_edge_map():
+    g = star_graph(20)
+    assert analytic.expected_warp_iterations(
+        g, "strict", CFG
+    ) == analytic.expected_warp_iterations(g, "edge_map", CFG)
