@@ -24,6 +24,7 @@ Layers (see DESIGN.md for the full inventory):
 * :mod:`repro.algorithms` — PR, BFS, SSSP, CC, GCN.
 * :mod:`repro.autotune` — the auto-tuner baseline of Table V.
 * :mod:`repro.bench` — experiment runner and report formatting.
+* :mod:`repro.runtime` — parallel batch engine, result cache, telemetry.
 """
 
 from repro.errors import (
@@ -48,6 +49,14 @@ from repro.sched import (ALL_SCHEDULES, EXTENDED_SCHEDULES,
                          SOFTWARE_SCHEDULES, make_schedule)
 from repro.frontend import Algorithm, Direction, GraphProcessor, RunResult
 from repro.algorithms import make_algorithm, algorithm_names
+from repro.runtime import (
+    AlgorithmSpec,
+    BatchEngine,
+    GraphSpec,
+    JobSpec,
+    ResultCache,
+    Telemetry,
+)
 
 __version__ = "1.0.0"
 
@@ -80,5 +89,11 @@ __all__ = [
     "RunResult",
     "make_algorithm",
     "algorithm_names",
+    "AlgorithmSpec",
+    "BatchEngine",
+    "GraphSpec",
+    "JobSpec",
+    "ResultCache",
+    "Telemetry",
     "__version__",
 ]

@@ -58,6 +58,9 @@ class AutoTuner:
         max_iterations: Optional[int] = None,
         symmetrize: bool = False,
         include_sparseweaver: bool = False,
+        jobs: Optional[int] = None,
+        cache=None,
+        telemetry=None,
     ) -> None:
         """``algorithm_factory`` is a zero-argument callable returning a
         fresh :class:`~repro.frontend.udf.Algorithm` (tuning trials must
@@ -67,6 +70,14 @@ class AutoTuner:
         that have the Weaver, the tuner treats it as one more hardware
         option alongside the software schedules — typically collapsing
         the search, since SparseWeaver wins most skewed workloads.
+
+        The schedule search is exactly the batch shape the runtime
+        engine accelerates: pass ``jobs=N`` (or set ``REPRO_JOBS``) to
+        fan trials across worker processes, and/or a
+        :class:`~repro.runtime.cache.ResultCache` to skip trials whose
+        result is already memoized.  The engine path requires
+        ``algorithm_factory`` to be an
+        :class:`~repro.runtime.jobspec.AlgorithmSpec`.
         """
         self.algorithm_factory = algorithm_factory
         self.config = config or GPUConfig.vortex_bench()
@@ -79,27 +90,31 @@ class AutoTuner:
             raise ScheduleError("auto-tuner needs at least one candidate")
         self.max_iterations = max_iterations
         self.symmetrize = symmetrize
+        self.jobs = jobs
+        self.cache = cache
+        self.telemetry = telemetry
 
     def tune(self, graph: CSRGraph) -> TuningReport:
         """Run every candidate; report the winner and the tuning bill."""
-        trials: List[TrialResult] = []
-        cycles_by_schedule: Dict[str, int] = {}
-        wall_total = 0.0
-        for name in self.candidates:
-            start = time.perf_counter()
-            proc = GraphProcessor(
-                self.algorithm_factory(),
-                schedule=name,
-                config=self.config,
-                symmetrize=self.symmetrize,
-            )
-            result = proc.run(graph, max_iterations=self.max_iterations)
-            wall = time.perf_counter() - start
-            wall_total += wall
-            cycles_by_schedule[name] = result.stats.total_cycles
-            trials.append(
-                TrialResult(name, result.stats.total_cycles, wall)
-            )
+        from repro.bench.runner import _engine_requested
+
+        if _engine_requested(self.jobs, self.cache, self.telemetry):
+            from repro.runtime import AlgorithmSpec
+
+            if isinstance(self.algorithm_factory, AlgorithmSpec):
+                trials = self._trials_engine(graph)
+            elif (self.jobs is not None or self.cache is not None
+                  or self.telemetry is not None):
+                raise ScheduleError(
+                    "the engine path (jobs=/cache=/telemetry=) needs an "
+                    "AlgorithmSpec algorithm_factory"
+                )
+            else:
+                trials = self._trials_serial(graph)
+        else:
+            trials = self._trials_serial(graph)
+        cycles_by_schedule = {t.schedule: t.cycles for t in trials}
+        wall_total = sum(t.wall_seconds for t in trials)
         best = min(trials, key=lambda t: t.cycles)
         baseline = cycles_by_schedule.get(
             "vertex_map", trials[0].cycles
@@ -112,3 +127,54 @@ class AutoTuner:
             tuning_wall_seconds=wall_total,
             trials=trials,
         )
+
+    # ------------------------------------------------------------------
+    def _trials_serial(self, graph: CSRGraph) -> List[TrialResult]:
+        """The original in-process trial loop."""
+        trials: List[TrialResult] = []
+        for name in self.candidates:
+            start = time.perf_counter()
+            proc = GraphProcessor(
+                self.algorithm_factory(),
+                schedule=name,
+                config=self.config,
+                symmetrize=self.symmetrize,
+            )
+            result = proc.run(graph, max_iterations=self.max_iterations)
+            trials.append(TrialResult(
+                name, result.stats.total_cycles,
+                time.perf_counter() - start,
+            ))
+        return trials
+
+    def _trials_engine(self, graph: CSRGraph) -> List[TrialResult]:
+        """Trials through the batch engine (parallel and/or cached).
+
+        Cached trials report a zero wall time — the tuner's bill is
+        what it actually paid, which is the point of warm-starting a
+        search from the result cache.
+        """
+        from repro.runtime import (BatchEngine, GraphSpec, JobSpec,
+                                   raise_on_failures)
+
+        graph_spec = GraphSpec.inline(graph, name="tuning")
+        specs = [
+            JobSpec(
+                algorithm=self.algorithm_factory,
+                graph=graph_spec,
+                schedule=name,
+                config=self.config,
+                max_iterations=self.max_iterations,
+                symmetrize=self.symmetrize,
+            )
+            for name in self.candidates
+        ]
+        engine = BatchEngine(jobs=self.jobs, cache=self.cache,
+                             telemetry=self.telemetry)
+        outcomes = engine.run(specs)
+        raise_on_failures(outcomes)
+        return [
+            TrialResult(name, outcome.summary.total_cycles,
+                        outcome.wall_seconds)
+            for name, outcome in zip(self.candidates, outcomes)
+        ]

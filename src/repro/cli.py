@@ -7,6 +7,8 @@ Commands
 ``datasets``  the Table III analog inventory
 ``area``      the Table IV area model
 ``weaver``    replay the Fig. 6 FSM example
+``batch``     run a job grid through the parallel runtime engine
+``cache``     inspect or clear the content-addressed result cache
 """
 
 from __future__ import annotations
@@ -64,6 +66,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="re-run a paper experiment by id (e.g. fig10, table5, "
              "fig13, ablations, microbench)")
     rep_p.add_argument("experiment", help="experiment id substring")
+
+    batch_p = sub.add_parser(
+        "batch",
+        help="run an (algorithm x dataset x schedule) grid through the "
+             "runtime engine (parallel workers + result cache)")
+    batch_p.add_argument("--algorithm", default="pagerank",
+                         choices=algorithm_names())
+    batch_p.add_argument("--datasets", nargs="+", default=["bio-human"],
+                         choices=dataset_names())
+    batch_p.add_argument("--schedules", nargs="+", default=None,
+                         choices=schedule_names(),
+                         help="default: the paper's five (ALL_SCHEDULES)")
+    batch_p.add_argument("--scale", type=float, default=0.25)
+    batch_p.add_argument("--iterations", type=int, default=2)
+    batch_p.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS or 1)")
+    batch_p.add_argument("--spec-file", default=None,
+                         help="JSON file with a list of job objects "
+                              "(overrides the grid flags)")
+    batch_p.add_argument("--cache-dir", default=None,
+                         help="result cache directory (default: "
+                              "REPRO_CACHE_DIR or ~/.cache/repro)")
+    batch_p.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache for this batch")
+    batch_p.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="append run events to this JSONL file")
+    batch_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job timeout in seconds")
+
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the result cache")
+    cache_p.add_argument("action", choices=["stats", "clear"])
+    cache_p.add_argument("--cache-dir", default=None)
     return parser
 
 
@@ -173,6 +208,114 @@ def _cmd_reproduce(args) -> int:
     return subprocess.call(cmd)
 
 
+def _load_spec_file(path: str):
+    """Load a JSON batch file into :class:`JobSpec` objects.
+
+    Accepts a list (or ``{"jobs": [...]}``) of objects with the keys
+    ``algorithm``, ``params``, ``dataset`` (or ``generator`` +
+    ``graph_params``), ``scale``, ``schedule``, ``max_iterations``,
+    ``symmetrize``.
+    """
+    import json
+
+    from repro.errors import ReproError
+    from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
+
+    known = {"algorithm", "params", "dataset", "generator", "graph_params",
+             "scale", "schedule", "max_iterations", "symmetrize"}
+    with open(path) as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("jobs", [])
+    specs = []
+    for i, entry in enumerate(data):
+        unknown = sorted(set(entry) - known)
+        if unknown:
+            raise ReproError(
+                f"job {i} in {path} has unknown key(s) {unknown}; "
+                f"expected a subset of {sorted(known)}")
+        if "dataset" in entry:
+            graph = GraphSpec.from_dataset(
+                entry["dataset"], scale=float(entry.get("scale", 1.0)))
+        elif "generator" in entry:
+            graph = GraphSpec.from_generator(
+                entry["generator"], **entry.get("graph_params", {}))
+        else:
+            raise ReproError(
+                f"job {i} in {path} needs a 'dataset' or 'generator'")
+        specs.append(JobSpec(
+            algorithm=AlgorithmSpec.of(
+                entry["algorithm"], **entry.get("params", {})),
+            graph=graph,
+            schedule=entry["schedule"],
+            max_iterations=entry.get("max_iterations"),
+            symmetrize=bool(entry.get("symmetrize", False)),
+        ))
+    return specs
+
+
+def _cmd_batch(args) -> int:
+    from repro.runtime import (AlgorithmSpec, BatchEngine, GraphSpec,
+                               JobSpec, ResultCache, Telemetry)
+
+    if args.spec_file:
+        specs = _load_spec_file(args.spec_file)
+    else:
+        schedules = args.schedules or list(ALL_SCHEDULES)
+        algorithm = AlgorithmSpec.of(
+            args.algorithm,
+            **({"iterations": args.iterations}
+               if args.algorithm == "pagerank" else
+               {"source": 0} if args.algorithm in ("bfs", "sssp") else {}))
+        specs = [
+            JobSpec(
+                algorithm=algorithm,
+                graph=GraphSpec.from_dataset(name, scale=args.scale),
+                schedule=sched,
+                config=GPUConfig.vortex_bench(),
+                max_iterations=args.iterations,
+            )
+            for name in args.datasets
+            for sched in schedules
+        ]
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    telemetry = Telemetry(args.telemetry)
+    engine = BatchEngine(jobs=args.jobs, cache=cache,
+                         telemetry=telemetry, timeout=args.timeout)
+    outcomes = engine.run(specs)
+
+    rows = [
+        [o.spec.algorithm.name, o.spec.graph.name, o.spec.schedule,
+         o.status,
+         o.summary.total_cycles if o.summary else "-",
+         round(o.wall_seconds, 3)]
+        for o in outcomes
+    ]
+    print(format_table(
+        ["algorithm", "graph", "schedule", "status", "cycles", "sec"],
+        rows, title=f"batch of {len(specs)} jobs "
+                    f"({engine.jobs} worker(s))"))
+    print(telemetry.format_summary(cache))
+    failed = [o for o in outcomes if not o.ok]
+    for o in failed:
+        print(f"FAILED {o.spec.label}: {o.error}")
+    return 1 if failed else 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.runtime import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.dir}")
+        return 0
+    for key, value in cache.stats().items():
+        print(f"  {key}: {value}")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -180,6 +323,8 @@ _COMMANDS = {
     "area": _cmd_area,
     "weaver": _cmd_weaver,
     "reproduce": _cmd_reproduce,
+    "batch": _cmd_batch,
+    "cache": _cmd_cache,
 }
 
 

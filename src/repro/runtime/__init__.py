@@ -1,0 +1,56 @@
+"""Parallel experiment runtime.
+
+The layer between "one simulation" (:mod:`repro.frontend`) and "a
+paper figure" (:mod:`repro.bench`): frozen job specifications with
+content hashes (:mod:`~repro.runtime.jobspec`), an on-disk
+content-addressed result cache (:mod:`~repro.runtime.cache`), a
+process-pool batch engine with crash retry and deterministic ordering
+(:mod:`~repro.runtime.engine`), and structured run telemetry with a
+JSONL sink (:mod:`~repro.runtime.telemetry`).
+
+Opt in from the bench harness with ``jobs=`` / ``cache=`` or the
+``REPRO_JOBS`` environment variable; drive grids directly with
+``python -m repro batch`` and inspect the store with
+``python -m repro cache``.
+"""
+
+from repro.runtime.jobspec import (
+    AlgorithmSpec,
+    GraphSpec,
+    JobSpec,
+    graph_digest,
+)
+from repro.runtime.cache import (
+    ResultCache,
+    RunSummary,
+    SCHEMA_VERSION,
+    default_cache_dir,
+    values_digest,
+)
+from repro.runtime.engine import (
+    BatchEngine,
+    JobOutcome,
+    raise_on_failures,
+    resolve_jobs,
+    run_specs,
+)
+from repro.runtime.telemetry import RunEvent, Telemetry
+
+__all__ = [
+    "AlgorithmSpec",
+    "GraphSpec",
+    "JobSpec",
+    "graph_digest",
+    "ResultCache",
+    "RunSummary",
+    "SCHEMA_VERSION",
+    "default_cache_dir",
+    "values_digest",
+    "BatchEngine",
+    "JobOutcome",
+    "raise_on_failures",
+    "resolve_jobs",
+    "run_specs",
+    "RunEvent",
+    "Telemetry",
+]

@@ -1,0 +1,200 @@
+"""On-disk content-addressed result cache.
+
+Simulations are deterministic functions of their :class:`JobSpec`, so
+a finished job's summary can be memoized under the spec's content
+hash.  Entries are one JSON file each under a cache directory
+(``REPRO_CACHE_DIR`` or ``~/.cache/repro``), keyed by
+``sha256(spec_hash · schema_version · simulator_version)`` — bumping
+:data:`repro.sim.SIMULATOR_VERSION` therefore invalidates every entry
+at once without touching the files.
+
+Only *summaries* are cached (cycles, stall/phase breakdowns, a digest
+of the result values) — not the value arrays themselves — which keeps
+entries small and makes a cache hit equivalent to a worker round-trip.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.sim import SIMULATOR_VERSION
+from repro.sim.stats import KernelStats
+from repro.runtime.jobspec import JobSpec
+
+#: Bump when the entry file layout changes.
+SCHEMA_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory (env override, else XDG-ish)."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def values_digest(values: np.ndarray) -> str:
+    """Correctness digest of a result array (order-sensitive)."""
+    return hashlib.sha256(
+        np.ascontiguousarray(values).tobytes()
+    ).hexdigest()
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class RunSummary:
+    """Picklable summary of one run — what crosses process and cache
+    boundaries in place of a full ``RunResult``.
+
+    ``stats`` is a real :class:`KernelStats`, so consumers can keep
+    calling ``summary.stats.total_cycles`` / ``stall_breakdown()``
+    exactly as they would on a ``RunResult``.
+    """
+
+    total_cycles: int
+    iterations: int
+    stats: KernelStats
+    values_digest: str
+    from_cache: bool = False
+
+    @classmethod
+    def from_run_result(cls, result) -> "RunSummary":
+        """Summarize a full ``RunResult``."""
+        return cls(
+            total_cycles=result.stats.total_cycles,
+            iterations=result.iterations,
+            stats=result.stats,
+            values_digest=values_digest(result.values),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able form."""
+        return {
+            "total_cycles": self.total_cycles,
+            "iterations": self.iterations,
+            "stats": self.stats.to_summary_dict(),
+            "values_digest": self.values_digest,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any],
+                  from_cache: bool = False) -> "RunSummary":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            total_cycles=int(data["total_cycles"]),
+            iterations=int(data["iterations"]),
+            stats=KernelStats.from_summary_dict(data["stats"]),
+            values_digest=data["values_digest"],
+            from_cache=from_cache,
+        )
+
+
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Content-addressed store of :class:`RunSummary` entries.
+
+    Tracks ``hits`` / ``misses`` / ``stores`` / ``evictions`` counters
+    for the telemetry batch summary.  ``max_entries`` bounds the store;
+    overflow evicts the oldest files (by mtime).
+    """
+
+    def __init__(self, cache_dir=None, max_entries: int = 4096) -> None:
+        self.dir = Path(cache_dir) if cache_dir else default_cache_dir()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def key(self, spec: JobSpec) -> str:
+        """Cache key: spec hash layered with schema + simulator versions."""
+        raw = (f"{spec.content_hash()}:schema={SCHEMA_VERSION}"
+               f":sim={SIMULATOR_VERSION}")
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.dir / f"{key}.json"
+
+    # ------------------------------------------------------------------
+    def get(self, spec: JobSpec) -> Optional[RunSummary]:
+        """Look up a memoized summary; ``None`` (and a miss) otherwise."""
+        path = self._path(self.key(spec))
+        if not path.exists():
+            self.misses += 1
+            return None
+        try:
+            entry = json.loads(path.read_text())
+            if (entry.get("schema") != SCHEMA_VERSION
+                    or entry.get("simulator_version") != SIMULATOR_VERSION):
+                raise ValueError("stale cache entry version")
+            summary = RunSummary.from_dict(entry["summary"],
+                                           from_cache=True)
+        except (ValueError, KeyError, TypeError):
+            # Corrupt or stale entry: drop it and treat as a miss.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return summary
+
+    def put(self, spec: JobSpec, summary: RunSummary) -> None:
+        """Store a summary under the spec's content address."""
+        self.dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(self.key(spec))
+        entry = {
+            "schema": SCHEMA_VERSION,
+            "simulator_version": SIMULATOR_VERSION,
+            "spec": spec.to_dict(),
+            "label": spec.label,
+            "summary": summary.to_dict(),
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+        os.replace(tmp, path)
+        self.stores += 1
+        self._evict_overflow()
+
+    def _evict_overflow(self) -> None:
+        entries = sorted(self.dir.glob("*.json"),
+                         key=lambda p: p.stat().st_mtime)
+        excess = len(entries) - self.max_entries
+        for path in entries[:max(0, excess)]:
+            path.unlink(missing_ok=True)
+            self.evictions += 1
+
+    # ------------------------------------------------------------------
+    def entries(self) -> int:
+        """Number of entry files currently on disk."""
+        if not self.dir.exists():
+            return 0
+        return sum(1 for _ in self.dir.glob("*.json"))
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot for telemetry and the CLI."""
+        return {
+            "dir": str(self.dir),
+            "entries": self.entries(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "schema": SCHEMA_VERSION,
+            "simulator_version": SIMULATOR_VERSION,
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.dir.exists():
+            for path in self.dir.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+        return removed

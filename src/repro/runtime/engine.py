@@ -1,0 +1,238 @@
+"""Parallel batch execution of :class:`JobSpec` grids.
+
+The engine fans a list of specs across a ``ProcessPoolExecutor``:
+
+* cache lookups happen first, so warm batches never touch a worker;
+* each miss is pickled to a worker that rebuilds the algorithm/graph
+  from the spec and returns a :class:`RunSummary` dict;
+* a job whose *worker process dies* (crash, OOM-kill) is retried once
+  on a fresh pool before a structured failure is recorded — a job that
+  raises a normal exception fails immediately (deterministic errors
+  don't deserve a second simulation);
+* an optional per-job timeout turns an unresponsive job into a
+  structured failure instead of hanging the batch;
+* results come back in submission order regardless of completion
+  order, so parallel grids are drop-in equal to serial ones.
+
+``jobs=1`` (the default, also via ``REPRO_JOBS``) executes serially
+in-process — no pool, no pickling — which is what the benchmark suite
+and tier-1 tests use.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigError, ReproError
+from repro.runtime.cache import ResultCache, RunSummary
+from repro.runtime.jobspec import JobSpec
+from repro.runtime.telemetry import Telemetry
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if not raw:
+            return 1
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ConfigError(
+                f"REPRO_JOBS must be an integer, got {raw!r}"
+            ) from None
+    return max(1, int(jobs))
+
+
+def _execute_spec(spec: JobSpec) -> Dict[str, Any]:
+    """Worker entry point: run one job, return its summary dict.
+
+    Module-level (not a method) so ``ProcessPoolExecutor`` can pickle
+    it by reference; returns plain dicts so nothing exotic crosses the
+    process boundary.
+    """
+    result = spec.execute()
+    return RunSummary.from_run_result(result).to_dict()
+
+
+# ----------------------------------------------------------------------
+@dataclass
+class JobOutcome:
+    """Structured result of one engine job."""
+
+    spec: JobSpec
+    status: str  # "ok" | "cached" | "failed"
+    summary: Optional[RunSummary] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether a usable summary is attached."""
+        return self.status in ("ok", "cached")
+
+
+class BatchEngine:
+    """Schedule, parallelize, cache and observe a batch of jobs."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        telemetry: Optional[Telemetry] = None,
+        timeout: Optional[float] = None,
+        retries: int = 1,
+    ) -> None:
+        """``timeout`` is per-job wall seconds (None = unbounded);
+        ``retries`` counts extra attempts after a worker crash."""
+        self.jobs = resolve_jobs(jobs)
+        self.cache = cache
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.timeout = timeout
+        self.retries = max(0, retries)
+
+    # ------------------------------------------------------------------
+    def run(self, specs: Sequence[JobSpec]) -> List[JobOutcome]:
+        """Execute a batch; outcomes align index-for-index with specs."""
+        outcomes: Dict[int, JobOutcome] = {}
+        pending: List[Tuple[int, JobSpec]] = []
+        for idx, spec in enumerate(specs):
+            self.telemetry.emit("submitted", spec)
+            if self.cache is not None:
+                summary = self.cache.get(spec)
+                if summary is not None:
+                    outcomes[idx] = JobOutcome(spec, "cached", summary)
+                    self.telemetry.emit("cached", spec,
+                                        cycles=summary.total_cycles)
+                    continue
+            pending.append((idx, spec))
+
+        if pending:
+            if self.jobs <= 1:
+                self._run_serial(pending, outcomes)
+            else:
+                self._run_parallel(pending, outcomes)
+
+        self.telemetry.emit_batch_summary(cache=self.cache)
+        return [outcomes[i] for i in range(len(specs))]
+
+    # ------------------------------------------------------------------
+    def _record_success(self, idx: int, spec: JobSpec,
+                        summary: RunSummary, attempts: int, wall: float,
+                        outcomes: Dict[int, JobOutcome]) -> None:
+        if self.cache is not None:
+            self.cache.put(spec, summary)
+        outcomes[idx] = JobOutcome(spec, "ok", summary, None, attempts,
+                                   wall)
+        self.telemetry.emit("finished", spec,
+                            cycles=summary.total_cycles,
+                            wall=round(wall, 6), attempt=attempts)
+
+    def _record_failure(self, idx: int, spec: JobSpec, error: str,
+                        attempts: int, wall: float,
+                        outcomes: Dict[int, JobOutcome]) -> None:
+        outcomes[idx] = JobOutcome(spec, "failed", None, error, attempts,
+                                   wall)
+        self.telemetry.emit("failed", spec, error=error, attempt=attempts)
+
+    def _run_serial(self, pending, outcomes) -> None:
+        for idx, spec in pending:
+            self.telemetry.emit("started", spec, attempt=1)
+            start = time.perf_counter()
+            try:
+                summary = RunSummary.from_dict(_execute_spec(spec))
+            except Exception as exc:  # noqa: BLE001 - structured failure
+                self._record_failure(
+                    idx, spec, f"{type(exc).__name__}: {exc}", 1,
+                    time.perf_counter() - start, outcomes)
+                continue
+            self._record_success(idx, spec, summary, 1,
+                                 time.perf_counter() - start, outcomes)
+
+    def _run_parallel(self, pending, outcomes) -> None:
+        queue: List[Tuple[int, JobSpec, int]] = [
+            (idx, spec, 1) for idx, spec in pending
+        ]
+        while queue:
+            batch, queue = queue, []
+            pool = ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(batch))
+            )
+            futures = []
+            try:
+                for idx, spec, attempt in batch:
+                    self.telemetry.emit("started", spec, attempt=attempt)
+                    futures.append(
+                        (idx, spec, attempt, time.perf_counter(),
+                         pool.submit(_execute_spec, spec))
+                    )
+                for idx, spec, attempt, start, future in futures:
+                    wall = None
+                    try:
+                        data = future.result(timeout=self.timeout)
+                        wall = time.perf_counter() - start
+                        self._record_success(
+                            idx, spec, RunSummary.from_dict(data),
+                            attempt, wall, outcomes)
+                    except FutureTimeoutError:
+                        future.cancel()
+                        self._record_failure(
+                            idx, spec,
+                            f"timed out after {self.timeout}s", attempt,
+                            time.perf_counter() - start, outcomes)
+                    except BrokenProcessPool:
+                        # The worker process died. Give the job another
+                        # chance on a fresh pool; siblings caught in the
+                        # same pool collapse are requeued for free.
+                        if attempt <= self.retries:
+                            self.telemetry.emit("retried", spec,
+                                                attempt=attempt + 1)
+                            queue.append((idx, spec, attempt + 1))
+                        else:
+                            self._record_failure(
+                                idx, spec,
+                                "worker process crashed", attempt,
+                                time.perf_counter() - start, outcomes)
+                    except Exception as exc:  # noqa: BLE001
+                        # Raised *inside* the worker and pickled back:
+                        # deterministic, so fail without a retry.
+                        self._record_failure(
+                            idx, spec, f"{type(exc).__name__}: {exc}",
+                            attempt, time.perf_counter() - start,
+                            outcomes)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+def run_specs(
+    specs: Sequence[JobSpec],
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    telemetry: Optional[Telemetry] = None,
+    timeout: Optional[float] = None,
+) -> List[JobOutcome]:
+    """One-shot convenience wrapper around :class:`BatchEngine`."""
+    return BatchEngine(jobs=jobs, cache=cache, telemetry=telemetry,
+                       timeout=timeout).run(specs)
+
+
+def raise_on_failures(outcomes: Sequence[JobOutcome]) -> None:
+    """Raise one :class:`ReproError` naming every failed job."""
+    failed = [o for o in outcomes if not o.ok]
+    if not failed:
+        return
+    details = "; ".join(
+        f"{o.spec.label}: {o.error}" for o in failed[:5]
+    )
+    more = f" (+{len(failed) - 5} more)" if len(failed) > 5 else ""
+    raise ReproError(
+        f"{len(failed)} of {len(outcomes)} jobs failed: {details}{more}"
+    )

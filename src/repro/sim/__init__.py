@@ -11,6 +11,11 @@ event-driven model with true cache tag state, per-phase cycle accounting
 and a stall taxonomy, not an RTL-equivalent simulator.
 """
 
+#: Timing-model version. Bump whenever a change alters simulated cycle
+#: counts; the runtime result cache (:mod:`repro.runtime.cache`) keys
+#: entries on it, so a bump invalidates every memoized result at once.
+SIMULATOR_VERSION = 1
+
 from repro.sim.config import CacheConfig, GPUConfig
 from repro.sim.instructions import Instr, Op, Phase
 from repro.sim.stats import KernelStats, StallCat
@@ -19,6 +24,7 @@ from repro.sim.cache import Cache
 from repro.sim.gpu import GPU, WarpContext
 
 __all__ = [
+    "SIMULATOR_VERSION",
     "CacheConfig",
     "GPUConfig",
     "Instr",

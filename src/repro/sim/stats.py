@@ -164,6 +164,55 @@ class KernelStats:
             },
         }
 
+    def to_summary_dict(self) -> Dict[str, object]:
+        """Lossless, picklable/JSON-able snapshot for process transport.
+
+        Unlike :meth:`to_dict` (whose phase/stall keys are display
+        labels), keys here are enum *names* so
+        :meth:`from_summary_dict` can rebuild an equivalent object on
+        the other side of a process or cache-file boundary.
+        """
+        return {
+            "total_cycles": self.total_cycles,
+            "instructions": self.instructions,
+            "warps_launched": self.warps_launched,
+            "dram_accesses": self.dram_accesses,
+            "phase_cycles": {p.name: c for p, c in
+                             sorted(self.phase_cycles.items())},
+            "stall_cycles": {s.name: c for s, c in
+                             sorted(self.stall_cycles.items())},
+            "op_counts": {op.name: c for op, c in
+                          sorted(self.op_counts.items())},
+            "counters": dict(self.counters),
+            "cache": {
+                name: {"hits": cs.hits, "misses": cs.misses}
+                for name, cs in self.cache.items()
+            },
+        }
+
+    @classmethod
+    def from_summary_dict(cls, data: Dict[str, object]) -> "KernelStats":
+        """Rebuild a :class:`KernelStats` from :meth:`to_summary_dict`."""
+        stats = cls(
+            total_cycles=int(data.get("total_cycles", 0)),
+            instructions=int(data.get("instructions", 0)),
+            warps_launched=int(data.get("warps_launched", 0)),
+            dram_accesses=int(data.get("dram_accesses", 0)),
+        )
+        for name, c in data.get("phase_cycles", {}).items():
+            stats.phase_cycles[Phase[name]] = int(c)
+        for name, c in data.get("stall_cycles", {}).items():
+            stats.stall_cycles[StallCat[name]] = int(c)
+        for name, c in data.get("op_counts", {}).items():
+            stats.op_counts[Op[name]] = int(c)
+        for name, c in data.get("counters", {}).items():
+            stats.counters[name] = int(c)
+        for name, counts in data.get("cache", {}).items():
+            stats.cache[name] = CacheStats(
+                hits=int(counts["hits"]), misses=int(counts["misses"])
+            )
+        return stats
+
     def summary(self) -> str:
         """Multi-line textual summary for reports."""
         lines = [

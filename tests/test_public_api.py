@@ -10,7 +10,7 @@ import repro
 SUBPACKAGES = [
     "repro.graph", "repro.sim", "repro.core", "repro.sched",
     "repro.frontend", "repro.algorithms", "repro.autotune",
-    "repro.bench", "repro.apps", "repro.cli",
+    "repro.bench", "repro.apps", "repro.cli", "repro.runtime",
 ]
 
 

@@ -1,0 +1,110 @@
+"""Result cache: memoization, versioning, eviction, stats round-trip."""
+
+import json
+
+import pytest
+
+import repro.runtime.cache as cache_mod
+from repro.graph import powerlaw_graph
+from repro.runtime import (AlgorithmSpec, GraphSpec, JobSpec, ResultCache,
+                           RunSummary)
+from repro.sim import GPUConfig
+from repro.sim.stats import KernelStats
+
+
+@pytest.fixture
+def spec():
+    return JobSpec(
+        algorithm=AlgorithmSpec.of("pagerank", iterations=1),
+        graph=GraphSpec.inline(powerlaw_graph(80, 300, seed=1)),
+        schedule="vertex_map",
+        config=GPUConfig.vortex_tiny(),
+        max_iterations=1,
+    )
+
+
+@pytest.fixture
+def summary(spec):
+    return RunSummary.from_run_result(spec.execute())
+
+
+def test_kernel_stats_summary_round_trip(summary):
+    stats = summary.stats
+    rebuilt = KernelStats.from_summary_dict(stats.to_summary_dict())
+    assert rebuilt.total_cycles == stats.total_cycles
+    assert rebuilt.instructions == stats.instructions
+    assert rebuilt.warps_launched == stats.warps_launched
+    assert rebuilt.phase_breakdown() == stats.phase_breakdown()
+    assert rebuilt.stall_breakdown() == stats.stall_breakdown()
+    assert rebuilt.to_dict() == stats.to_dict()
+    # The summary dict itself is JSON-safe.
+    json.dumps(stats.to_summary_dict())
+
+
+def test_run_summary_round_trip(summary):
+    again = RunSummary.from_dict(json.loads(
+        json.dumps(summary.to_dict())))
+    assert again.total_cycles == summary.total_cycles
+    assert again.iterations == summary.iterations
+    assert again.values_digest == summary.values_digest
+    assert again.stats.to_dict() == summary.stats.to_dict()
+
+
+def test_miss_then_hit(tmp_path, spec, summary):
+    cache = ResultCache(tmp_path)
+    assert cache.get(spec) is None
+    cache.put(spec, summary)
+    hit = cache.get(spec)
+    assert hit is not None
+    assert hit.from_cache
+    assert hit.total_cycles == summary.total_cycles
+    assert hit.values_digest == summary.values_digest
+    stats = cache.stats()
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["stores"] == 1
+    assert stats["entries"] == 1
+
+
+def test_simulator_version_bump_invalidates(tmp_path, spec, summary,
+                                            monkeypatch):
+    cache = ResultCache(tmp_path)
+    cache.put(spec, summary)
+    assert cache.get(spec) is not None
+    monkeypatch.setattr(cache_mod, "SIMULATOR_VERSION", 999)
+    bumped = ResultCache(tmp_path)
+    assert bumped.get(spec) is None
+    assert bumped.stats()["misses"] == 1
+
+
+def test_corrupt_entry_is_a_miss(tmp_path, spec, summary):
+    cache = ResultCache(tmp_path)
+    cache.put(spec, summary)
+    path = cache._path(cache.key(spec))
+    path.write_text("{ not json")
+    assert cache.get(spec) is None
+    assert not path.exists()  # dropped, not left to rot
+
+
+def test_clear_removes_entries(tmp_path, spec, summary):
+    cache = ResultCache(tmp_path)
+    cache.put(spec, summary)
+    assert cache.clear() == 1
+    assert cache.entries() == 0
+    assert cache.get(spec) is None
+
+
+def test_eviction_bounds_entries(tmp_path, summary):
+    import dataclasses
+
+    cache = ResultCache(tmp_path, max_entries=2)
+    base = JobSpec(
+        algorithm=AlgorithmSpec.of("pagerank", iterations=1),
+        graph=GraphSpec.from_dataset("bio-human", scale=0.2),
+        schedule="vertex_map",
+        config=GPUConfig.vortex_tiny(),
+    )
+    for i in range(4):
+        cache.put(dataclasses.replace(base, seed=i), summary)
+    assert cache.entries() <= 2
+    assert cache.evictions == 2

@@ -1,0 +1,85 @@
+"""CLI smoke tests for the ``batch`` and ``cache`` subcommands."""
+
+import json
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_batch_grid_cold_then_warm(capsys, tmp_path):
+    argv = ["batch", "--algorithm", "pagerank", "--datasets",
+            "bio-human", "--schedules", "vertex_map", "sparseweaver",
+            "--scale", "0.2", "--iterations", "1", "--jobs", "1",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--telemetry", str(tmp_path / "events.jsonl")]
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "vertex_map" in out and "sparseweaver" in out
+    assert "2 submitted, 2 simulated, 0 cached" in out
+
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "2 submitted, 0 simulated, 2 cached" in out
+
+    events = [json.loads(line) for line in
+              (tmp_path / "events.jsonl").read_text().splitlines()]
+    kinds = [e["kind"] for e in events]
+    assert kinds.count("finished") == 2
+    assert kinds.count("cached") == 2
+    assert kinds.count("batch_summary") == 2
+
+
+def test_batch_no_cache(capsys, tmp_path):
+    code, out = run_cli(
+        capsys, "batch", "--datasets", "bio-human", "--schedules",
+        "vertex_map", "--scale", "0.2", "--iterations", "1",
+        "--no-cache")
+    assert code == 0
+    assert "1 submitted, 1 simulated" in out
+    assert "cache:" not in out
+
+
+def test_batch_spec_file(capsys, tmp_path):
+    spec_file = tmp_path / "grid.json"
+    spec_file.write_text(json.dumps({"jobs": [
+        {"algorithm": "pagerank", "params": {"iterations": 1},
+         "dataset": "bio-human", "scale": 0.2,
+         "schedule": "vertex_map", "max_iterations": 1},
+        {"algorithm": "bfs", "params": {"source": 0},
+         "dataset": "road-ca", "scale": 0.2,
+         "schedule": "sparseweaver"},
+    ]}))
+    code, out = run_cli(
+        capsys, "batch", "--spec-file", str(spec_file),
+        "--cache-dir", str(tmp_path / "cache"))
+    assert code == 0
+    assert "bfs" in out and "road-ca" in out
+    assert "2 submitted, 2 simulated" in out
+
+
+def test_cache_stats_and_clear(capsys, tmp_path):
+    cache_dir = tmp_path / "cache"
+    code, _ = run_cli(
+        capsys, "batch", "--datasets", "bio-human", "--schedules",
+        "vertex_map", "--scale", "0.2", "--iterations", "1",
+        "--cache-dir", str(cache_dir))
+    assert code == 0
+
+    code, out = run_cli(capsys, "cache", "stats", "--cache-dir",
+                        str(cache_dir))
+    assert code == 0
+    assert "entries: 1" in out
+
+    code, out = run_cli(capsys, "cache", "clear", "--cache-dir",
+                        str(cache_dir))
+    assert code == 0
+    assert "removed 1" in out
+
+    code, out = run_cli(capsys, "cache", "stats", "--cache-dir",
+                        str(cache_dir))
+    assert code == 0
+    assert "entries: 0" in out

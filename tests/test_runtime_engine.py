@@ -1,0 +1,245 @@
+"""Batch engine: parallel == serial, caching, retries, failures.
+
+The worker-crash helpers live at module top level so
+``ProcessPoolExecutor`` can pickle them by reference; they communicate
+"already crashed once" through a marker file because no other state
+survives a worker death.
+"""
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+import repro.runtime.engine as engine_mod
+from repro.bench import run_schedule_comparison
+from repro.errors import ReproError
+from repro.graph import powerlaw_graph
+from repro.runtime import (AlgorithmSpec, BatchEngine, GraphSpec, JobSpec,
+                           ResultCache, Telemetry, resolve_jobs)
+from repro.sim import GPUConfig
+
+SCHEDULES = ["vertex_map", "edge_map", "warp_map", "sparseweaver"]
+
+
+def tiny_grid_specs():
+    algorithm = AlgorithmSpec.of("pagerank", iterations=2)
+    graphs = {
+        "pl-a": powerlaw_graph(120, 500, seed=1),
+        "pl-b": powerlaw_graph(150, 600, seed=2),
+    }
+    return [
+        JobSpec(
+            algorithm=algorithm,
+            graph=GraphSpec.inline(graph, name=name),
+            schedule=sched,
+            config=GPUConfig.vortex_tiny(),
+            max_iterations=2,
+        )
+        for name, graph in graphs.items()
+        for sched in SCHEDULES
+    ]
+
+
+def _flaky_execute(spec):
+    """Crash the worker once, then behave like the real executor."""
+    marker = Path(os.environ["REPRO_TEST_CRASH_MARKER"])
+    if not marker.exists():
+        marker.write_text("crashed")
+        os._exit(42)
+    return engine_mod.RunSummary.from_run_result(
+        spec.execute()).to_dict()
+
+
+def _always_crash(spec):
+    """Kill the worker on every attempt."""
+    os._exit(42)
+
+
+def _slow_execute(spec):
+    """Outlive any reasonable per-job timeout."""
+    time.sleep(2.0)
+    return engine_mod.RunSummary.from_run_result(
+        spec.execute()).to_dict()
+
+
+# ----------------------------------------------------------------------
+def test_parallel_matches_serial_cycles():
+    specs = tiny_grid_specs()
+    serial = BatchEngine(jobs=1).run(specs)
+    parallel = BatchEngine(jobs=4).run(specs)
+    assert [o.status for o in parallel] == ["ok"] * len(specs)
+    assert ([o.summary.total_cycles for o in serial]
+            == [o.summary.total_cycles for o in parallel])
+    assert ([o.summary.values_digest for o in serial]
+            == [o.summary.values_digest for o in parallel])
+
+
+def test_outcomes_preserve_submission_order():
+    specs = tiny_grid_specs()
+    outcomes = BatchEngine(jobs=4).run(specs)
+    assert [o.spec.content_hash() for o in outcomes] == [
+        s.content_hash() for s in specs
+    ]
+
+
+def test_warm_cache_runs_zero_simulations(tmp_path):
+    specs = tiny_grid_specs()
+    cache = ResultCache(tmp_path / "cache")
+    cold_tel = Telemetry()
+    cold = BatchEngine(jobs=4, cache=cache, telemetry=cold_tel).run(specs)
+    assert cold_tel.count("started") == len(specs)
+    assert cold_tel.count("cached") == 0
+
+    warm_tel = Telemetry()
+    warm = BatchEngine(jobs=4, cache=cache, telemetry=warm_tel).run(specs)
+    assert warm_tel.count("started") == 0  # zero simulations
+    assert warm_tel.count("cached") == len(specs)
+    assert cache.hits == len(specs)
+    assert ([o.summary.total_cycles for o in warm]
+            == [o.summary.total_cycles for o in cold])
+    summary = warm_tel.summary(cache)
+    assert summary["cache"]["hits"] == len(specs)
+    assert summary["started"] == 0
+
+
+def test_worker_crash_is_retried_once(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TEST_CRASH_MARKER",
+                       str(tmp_path / "crash.marker"))
+    monkeypatch.setattr(engine_mod, "_execute_spec", _flaky_execute)
+    telemetry = Telemetry()
+    engine = BatchEngine(jobs=2, telemetry=telemetry)
+    outcomes = engine.run(tiny_grid_specs()[:1])
+    assert outcomes[0].status == "ok"
+    assert outcomes[0].attempts == 2
+    assert telemetry.count("retried") == 1
+
+
+def test_repeated_crash_becomes_structured_failure(monkeypatch):
+    monkeypatch.setattr(engine_mod, "_execute_spec", _always_crash)
+    telemetry = Telemetry()
+    outcomes = BatchEngine(jobs=2, telemetry=telemetry).run(
+        tiny_grid_specs()[:1])
+    assert outcomes[0].status == "failed"
+    assert "crashed" in outcomes[0].error
+    assert outcomes[0].attempts == 2
+    assert telemetry.count("failed") == 1
+
+
+def test_in_worker_exception_fails_without_retry():
+    bad = JobSpec(
+        algorithm=AlgorithmSpec.of("pagerank", iterations=1),
+        graph=GraphSpec.inline(powerlaw_graph(60, 200, seed=3)),
+        schedule="no_such_schedule",
+        config=GPUConfig.vortex_tiny(),
+    )
+    telemetry = Telemetry()
+    outcomes = BatchEngine(jobs=2, telemetry=telemetry).run(
+        [bad] + tiny_grid_specs()[:1])
+    assert outcomes[0].status == "failed"
+    assert "no_such_schedule" in outcomes[0].error
+    assert outcomes[0].attempts == 1
+    assert telemetry.count("retried") == 0
+    assert outcomes[1].status == "ok"
+
+
+def test_per_job_timeout_fails_structurally(monkeypatch):
+    monkeypatch.setattr(engine_mod, "_execute_spec", _slow_execute)
+    outcomes = BatchEngine(jobs=2, timeout=0.2).run(
+        tiny_grid_specs()[:1])
+    assert outcomes[0].status == "failed"
+    assert "timed out" in outcomes[0].error
+
+
+# ----------------------------------------------------------------------
+def test_resolve_jobs_env(monkeypatch):
+    monkeypatch.delenv("REPRO_JOBS", raising=False)
+    assert resolve_jobs() == 1
+    monkeypatch.setenv("REPRO_JOBS", "3")
+    assert resolve_jobs() == 3
+    assert resolve_jobs(2) == 2  # explicit argument wins
+    monkeypatch.setenv("REPRO_JOBS", "zero")
+    with pytest.raises(ReproError):
+        resolve_jobs()
+
+
+def test_grid_comparison_engine_equals_serial():
+    algorithm = AlgorithmSpec.of("pagerank", iterations=2)
+    graphs = {
+        "pl-a": powerlaw_graph(120, 500, seed=1),
+        "pl-b": powerlaw_graph(150, 600, seed=2),
+    }
+    config = GPUConfig.vortex_tiny()
+    serial = run_schedule_comparison(
+        algorithm, graphs, SCHEDULES, config=config, max_iterations=2)
+    parallel = run_schedule_comparison(
+        algorithm, graphs, SCHEDULES, config=config, max_iterations=2,
+        jobs=4)
+    assert serial.cycles == parallel.cycles
+    assert serial.speedups() == parallel.speedups()
+
+
+def test_grid_comparison_warm_cache(tmp_path):
+    algorithm = AlgorithmSpec.of("pagerank", iterations=1)
+    graphs = {"pl": powerlaw_graph(100, 400, seed=7)}
+    cache = ResultCache(tmp_path)
+    first = run_schedule_comparison(
+        algorithm, graphs, SCHEDULES, config=GPUConfig.vortex_tiny(),
+        max_iterations=1, cache=cache)
+    telemetry = Telemetry()
+    second = run_schedule_comparison(
+        algorithm, graphs, SCHEDULES, config=GPUConfig.vortex_tiny(),
+        max_iterations=1, cache=cache, telemetry=telemetry)
+    assert telemetry.count("started") == 0
+    assert telemetry.count("cached") == len(SCHEDULES)
+    assert first.cycles == second.cycles
+
+
+def test_engine_args_with_plain_lambda_raise():
+    graphs = {"pl": powerlaw_graph(60, 200, seed=1)}
+    with pytest.raises(ReproError):
+        run_schedule_comparison(
+            lambda: None, graphs, ["vertex_map"], jobs=2)
+
+
+def test_repro_jobs_env_keeps_plain_factories_serial(monkeypatch):
+    from repro.algorithms import make_algorithm
+
+    monkeypatch.setenv("REPRO_JOBS", "2")
+    graphs = {"pl": powerlaw_graph(60, 200, seed=1)}
+    result = run_schedule_comparison(
+        lambda: make_algorithm("pagerank", iterations=1), graphs,
+        ["vertex_map"], config=GPUConfig.vortex_tiny(),
+        max_iterations=1)
+    assert result.cycles["pl"]["vertex_map"] > 0
+
+
+def test_missing_baseline_raises_repro_error():
+    from repro.bench.runner import ExperimentResult
+
+    result = ExperimentResult(cycles={"g": {"edge_map": 10}})
+    with pytest.raises(ReproError) as excinfo:
+        result.speedups()
+    assert "vertex_map" in str(excinfo.value)
+    assert "edge_map" in str(excinfo.value)
+
+
+def test_autotuner_engine_matches_serial(tmp_path):
+    from repro.autotune import AutoTuner
+
+    graph = powerlaw_graph(120, 500, seed=4)
+    spec = AlgorithmSpec.of("pagerank", iterations=2)
+    config = GPUConfig.vortex_tiny()
+    serial = AutoTuner(spec, config=config, max_iterations=2).tune(graph)
+    cache = ResultCache(tmp_path)
+    engine = AutoTuner(spec, config=config, max_iterations=2, jobs=2,
+                       cache=cache).tune(graph)
+    assert serial.best_schedule == engine.best_schedule
+    assert serial.best_cycles == engine.best_cycles
+    assert ([t.cycles for t in serial.trials]
+            == [t.cycles for t in engine.trials])
+    warm = AutoTuner(spec, config=config, max_iterations=2, jobs=2,
+                     cache=cache).tune(graph)
+    assert warm.tuning_wall_seconds == 0.0  # every trial memoized
+    assert warm.best_cycles == serial.best_cycles
