@@ -4,13 +4,19 @@ Paper shape (Nsight on A30, PR, D_hw): scheduling schemes introduce
 *new* stall categories — shared-memory (short scoreboard) stalls for
 S_wm/S_cm, while S_vm's time sits in memory (long scoreboard) stalls —
 and warp-latency-per-instruction varies by schedule.
+
+The grid goes through the batch engine (``engine_opts``) and reads the
+simulator's per-core/per-warp stall *attribution* (``stall_cells``)
+rather than just category totals, checking that attributed cycles sum
+exactly to the category counters — the Nsight-style consistency the
+figure relies on.
 """
 
 from conftest import run_once
 
-from repro.algorithms import make_algorithm
-from repro.bench import format_breakdown, run_single
+from repro.bench import format_breakdown, run_schedule_comparison
 from repro.graph import dataset
+from repro.runtime import AlgorithmSpec
 from repro.sim import GPUConfig
 from repro.sim.stats import StallCat
 
@@ -18,31 +24,47 @@ SCHEDULES = ["vertex_map", "edge_map", "warp_map", "cta_map", "twc",
              "sparseweaver"]
 
 
-def test_fig4_stall_breakdown(benchmark, emit):
+def test_fig4_stall_breakdown(benchmark, emit, engine_opts):
     graph = dataset("hollywood", scale=0.12)
     config = GPUConfig.ampere_like()
 
     def run():
-        out = {}
-        for sched in SCHEDULES:
-            stats = run_single(
-                make_algorithm("pagerank", iterations=2), graph, sched,
-                config=config,
-            ).stats
-            row = dict(stats.stall_breakdown())
-            row["warp/instr"] = round(
-                stats.total_cycles / max(stats.instructions, 1), 2
-            )
-            out[sched] = (stats, row)
-        return out
+        return run_schedule_comparison(
+            AlgorithmSpec.of("pagerank", iterations=2),
+            {"hollywood": graph}, SCHEDULES, config=config,
+            **engine_opts,
+        )
 
-    results = run_once(benchmark, run)
+    result = run_once(benchmark, run)
+
+    rows = {}
+    per_core_rows = {}
+    for sched in SCHEDULES:
+        stats = result.runs["hollywood"][sched].stats
+        row = dict(stats.stall_breakdown())
+        row["warp/instr"] = round(
+            stats.total_cycles / max(stats.instructions, 1), 2
+        )
+        rows[sched] = row
+        # Attribution must account for every stalled cycle the category
+        # counters saw — per (core, warp, category) cells fold back to
+        # exactly the same totals (zero counters carry no cells).
+        assert stats.stall_cells_total() == {
+            cat: c for cat, c in stats.stall_cycles.items() if c
+        }
+        for core, cats in stats.stall_by_core().items():
+            per_core_rows[f"{sched}/core{core}"] = {
+                cat.name: cycles for cat, cycles in sorted(cats.items())
+            }
+
     emit("fig04_stall_breakdown", format_breakdown(
-        {k: v for k, (_, v) in results.items()},
-        title="Fig 4: stall cycles by category (+ warp/instr)"))
+        rows, title="Fig 4: stall cycles by category (+ warp/instr)"))
+    emit("fig04_stall_attribution", format_breakdown(
+        per_core_rows,
+        title="Fig 4 (attribution): stall cycles per core"))
 
-    vm_stats = results["vertex_map"][0]
-    wm_stats = results["warp_map"][0]
+    vm_stats = result.runs["hollywood"]["vertex_map"].stats
+    wm_stats = result.runs["hollywood"]["warp_map"].stats
     assert vm_stats.stall_cycles.get(StallCat.SHARED, 0) == 0
     assert wm_stats.stall_cycles.get(StallCat.SHARED, 0) > 0
     assert vm_stats.stall_cycles.get(StallCat.MEMORY, 0) > 0

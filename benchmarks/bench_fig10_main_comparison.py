@@ -7,35 +7,39 @@ on CC. Road-network graphs, which have nothing to balance, are the
 schemes' worst case.
 
 Iteration caps keep the simulation tractable; every scheme runs the
-same number of rounds so the comparison is apples-to-apples.
+same number of rounds so the comparison is apples-to-apples. The grid
+is submitted through the batch engine (``engine_opts``), so
+``REPRO_JOBS=4`` parallelizes it and ``REPRO_BENCH_CACHE`` makes
+re-runs warm — cycle counts are identical on every path.
 """
 
 import pytest
 from conftest import run_once
 
-from repro.algorithms import make_algorithm
 from repro.bench import format_series, geomean, run_schedule_comparison
 from repro.graph import dataset_names
+from repro.runtime import AlgorithmSpec
 
 SCHEDULES = ["vertex_map", "edge_map", "warp_map", "cta_map",
              "sparseweaver"]
 
 ALGORITHMS = {
-    "pagerank": lambda: make_algorithm("pagerank", iterations=2),
-    "bfs": lambda: make_algorithm("bfs", source=0),
-    "sssp": lambda: make_algorithm("sssp", source=0),
-    "cc": lambda: make_algorithm("cc"),
+    "pagerank": AlgorithmSpec.of("pagerank", iterations=2),
+    "bfs": AlgorithmSpec.of("bfs", source=0),
+    "sssp": AlgorithmSpec.of("sssp", source=0),
+    "cc": AlgorithmSpec.of("cc"),
 }
 ITER_CAPS = {"pagerank": 2, "bfs": 3, "sssp": 3, "cc": 3}
 
 
 @pytest.mark.parametrize("alg_name", list(ALGORITHMS))
 def test_fig10_algorithm_grid(benchmark, emit, bench_datasets,
-                              bench_config, alg_name):
+                              bench_config, engine_opts, alg_name):
     def run():
         return run_schedule_comparison(
             ALGORITHMS[alg_name], bench_datasets, SCHEDULES,
             config=bench_config, max_iterations=ITER_CAPS[alg_name],
+            **engine_opts,
         )
 
     result = run_once(benchmark, run)

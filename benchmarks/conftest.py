@@ -36,6 +36,29 @@ def bench_config() -> GPUConfig:
 
 
 @pytest.fixture(scope="session")
+def engine_opts():
+    """Batch-engine keywords shared by grid benchmarks.
+
+    Grids always go through the engine (``jobs=`` forces the engine
+    path, serial when 1); ``REPRO_JOBS`` raises the worker count and
+    ``REPRO_BENCH_CACHE`` / ``REPRO_BENCH_TELEMETRY`` opt into a result
+    cache directory and a telemetry JSONL sink.  Cycle counts are
+    engine-path-invariant, so benchmarks stay bit-identical either way.
+    """
+    from repro.runtime import ResultCache, Telemetry
+    from repro.runtime.engine import resolve_jobs
+
+    opts = {"jobs": resolve_jobs()}
+    cache_dir = os.environ.get("REPRO_BENCH_CACHE", "").strip()
+    if cache_dir:
+        opts["cache"] = ResultCache(cache_dir)
+    sink = os.environ.get("REPRO_BENCH_TELEMETRY", "").strip()
+    if sink:
+        opts["telemetry"] = Telemetry(path=sink)
+    return opts
+
+
+@pytest.fixture(scope="session")
 def bench_datasets() -> Dict[str, CSRGraph]:
     """All nine Table III analogs at the benchmark scale."""
     return {name: dataset(name, scale=BENCH_SCALE)

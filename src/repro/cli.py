@@ -9,6 +9,8 @@ Commands
 ``weaver``    replay the Fig. 6 FSM example
 ``batch``     run a job grid through the parallel runtime engine
 ``cache``     inspect or clear the content-addressed result cache
+``tail``      live dashboard over a batch telemetry JSONL file
+``report``    aggregate telemetry/metrics files into one summary
 """
 
 from __future__ import annotations
@@ -43,6 +45,12 @@ def _build_parser() -> argparse.ArgumentParser:
                        choices=schedule_names())
     run_p.add_argument("--scale", type=float, default=0.25)
     run_p.add_argument("--iterations", type=int, default=3)
+    run_p.add_argument("--trace", default=None, metavar="PATH",
+                       help="write a Chrome trace (kernel spans + "
+                            "per-warp instruction/stall timeline) "
+                            "loadable in chrome://tracing or Perfetto")
+    run_p.add_argument("--trace-events", type=int, default=200_000,
+                       help="instruction-trace bound for --trace")
 
     cmp_p = sub.add_parser("compare", help="all schedules, one workload")
     cmp_p.add_argument("--algorithm", default="pagerank",
@@ -94,11 +102,47 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="append run events to this JSONL file")
     batch_p.add_argument("--timeout", type=float, default=None,
                          help="per-job timeout in seconds")
+    batch_p.add_argument("--metrics", default=None, metavar="PATH",
+                         help="write a metrics-registry snapshot JSON "
+                              "(implies --obs)")
+    batch_p.add_argument("--trace", default=None, metavar="PATH",
+                         help="write a Chrome trace of per-job engine "
+                              "spans")
+    batch_p.add_argument("--obs", action="store_true",
+                         help="enable the metrics registry for this "
+                              "batch (same as REPRO_OBS=1)")
+    batch_p.add_argument("--cache-max-bytes", type=int, default=None,
+                         help="result-cache byte budget")
+    batch_p.add_argument("--cache-ttl", type=float, default=None,
+                         help="result-cache entry TTL in seconds")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=["stats", "clear"])
     cache_p.add_argument("--cache-dir", default=None)
+
+    tail_p = sub.add_parser(
+        "tail",
+        help="live dashboard over a batch telemetry JSONL file")
+    tail_p.add_argument("path", help="telemetry JSONL file to follow")
+    tail_p.add_argument("--interval", type=float, default=0.5,
+                        help="poll interval in seconds")
+    tail_p.add_argument("--once", action="store_true",
+                        help="render one frame of the current file "
+                             "and exit")
+    tail_p.add_argument("--frames", type=int, default=None,
+                        help="stop after this many polls (default: "
+                             "follow until the batch summary arrives)")
+    tail_p.add_argument("--json", action="store_true",
+                        help="print the final aggregate as JSON")
+
+    rep2_p = sub.add_parser(
+        "report",
+        help="aggregate telemetry JSONL and metrics snapshot files")
+    rep2_p.add_argument("paths", nargs="+",
+                        help="telemetry .jsonl and/or metrics .json files")
+    rep2_p.add_argument("--json", action="store_true",
+                        help="emit the aggregate as JSON (CI artifacts)")
     return parser
 
 
@@ -112,10 +156,18 @@ def _make_alg(name: str, iterations: int):
 
 def _cmd_run(args) -> int:
     graph = dataset(args.dataset, scale=args.scale)
+    tracer = exec_tracer = None
+    if args.trace:
+        from repro.obs.tracing import Tracer
+        from repro.sim.trace import ExecutionTracer
+
+        tracer = Tracer()
+        exec_tracer = ExecutionTracer(max_events=args.trace_events)
     result = run_single(
         _make_alg(args.algorithm, args.iterations), graph,
         args.schedule, config=GPUConfig.vortex_bench(),
         max_iterations=args.iterations,
+        tracer=tracer, exec_tracer=exec_tracer,
     )
     print(f"{args.algorithm} on {args.dataset} (analog {graph}) "
           f"under {args.schedule}:")
@@ -125,6 +177,16 @@ def _cmd_run(args) -> int:
         f"{k}={v}" for k, v in result.stats.phase_breakdown().items()))
     print("  stalls:     " + ", ".join(
         f"{k}={v}" for k, v in result.stats.stall_breakdown().items()))
+    if args.trace:
+        from repro.obs.tracing import execution_trace_events
+
+        path = tracer.save(args.trace,
+                           execution_trace_events(exec_tracer))
+        summary = exec_tracer.summary()
+        note = (f" ({summary['dropped']} instruction events dropped "
+                "at the trace bound)" if summary["dropped"] else "")
+        print(f"  trace:      {path} — open in chrome://tracing or "
+              f"https://ui.perfetto.dev{note}")
     return 0
 
 
@@ -279,10 +341,22 @@ def _cmd_batch(args) -> int:
             for sched in schedules
         ]
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    if args.obs or args.metrics:
+        from repro.obs.metrics import enable_metrics
+
+        enable_metrics()
+    tracer = None
+    if args.trace:
+        from repro.obs.tracing import Tracer
+
+        tracer = Tracer()
+    cache = None if args.no_cache else ResultCache(
+        args.cache_dir, max_bytes=args.cache_max_bytes,
+        ttl_seconds=args.cache_ttl)
     telemetry = Telemetry(args.telemetry)
     engine = BatchEngine(jobs=args.jobs, cache=cache,
-                         telemetry=telemetry, timeout=args.timeout)
+                         telemetry=telemetry, timeout=args.timeout,
+                         tracer=tracer)
     outcomes = engine.run(specs)
 
     rows = [
@@ -297,6 +371,12 @@ def _cmd_batch(args) -> int:
         rows, title=f"batch of {len(specs)} jobs "
                     f"({engine.jobs} worker(s))"))
     print(telemetry.format_summary(cache))
+    if args.metrics:
+        from repro.obs.metrics import get_registry
+
+        print(f"metrics snapshot: {get_registry().save(args.metrics)}")
+    if tracer is not None:
+        print(f"engine trace: {tracer.save(args.trace)}")
     failed = [o for o in outcomes if not o.ok]
     for o in failed:
         print(f"FAILED {o.spec.label}: {o.error}")
@@ -316,6 +396,31 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _cmd_tail(args) -> int:
+    import json as json_mod
+
+    from repro.obs.dashboard import tail
+
+    watch = tail(args.path, follow=not args.once,
+                 interval=args.interval, max_frames=args.frames)
+    if args.json:
+        print(json_mod.dumps(watch.snapshot(), sort_keys=True))
+    return 1 if watch.snapshot()["failed"] else 0
+
+
+def _cmd_report(args) -> int:
+    import json as json_mod
+
+    from repro.obs.report import aggregate, format_report
+
+    report = aggregate(args.paths)
+    if args.json:
+        print(json_mod.dumps(report, sort_keys=True, indent=1))
+    else:
+        print(format_report(report))
+    return 1 if report["failed"] else 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -325,6 +430,8 @@ _COMMANDS = {
     "reproduce": _cmd_reproduce,
     "batch": _cmd_batch,
     "cache": _cmd_cache,
+    "tail": _cmd_tail,
+    "report": _cmd_report,
 }
 
 

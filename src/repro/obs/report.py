@@ -1,0 +1,138 @@
+"""Offline aggregation of telemetry and metrics files.
+
+``python -m repro report runs.jsonl metrics.json [--json]`` folds any
+mix of telemetry JSONL sinks (batch-engine event streams) and metrics
+snapshots (:meth:`~repro.obs.metrics.MetricsRegistry.save` output)
+into one summary — job counts, simulated cycles, wall time, cache
+counters, failure list, merged metrics — suitable for a CI artifact or
+a quick terminal read after a long batch.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.errors import ReproError
+from repro.obs.dashboard import BatchWatch
+from repro.obs.metrics import MetricsRegistry
+
+
+def classify_file(path) -> Tuple[str, Any]:
+    """Load one input file as ``("telemetry", records)`` or
+    ``("metrics", snapshot)``.
+
+    Telemetry sinks are JSONL (one event object per line); metrics
+    snapshots are a single JSON object with a top-level ``"metrics"``
+    key.  Anything else is rejected with a :class:`ReproError`.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ReproError(f"cannot read {path}: {exc}") from exc
+    stripped = text.strip()
+    if not stripped:
+        return "telemetry", []
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(stripped)
+        except json.JSONDecodeError:
+            doc = None
+        if isinstance(doc, dict) and "metrics" in doc:
+            return "metrics", doc
+    records = []
+    for i, line in enumerate(stripped.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"{path}:{i + 1} is neither a metrics snapshot nor "
+                f"telemetry JSONL: {exc}") from exc
+        if not isinstance(record, dict):
+            raise ReproError(
+                f"{path}:{i + 1}: telemetry records must be objects")
+        records.append(record)
+    return "telemetry", records
+
+
+def aggregate(paths: Iterable) -> Dict[str, Any]:
+    """Fold every input file into one report dict."""
+    registry = MetricsRegistry(enabled=True)
+    combined = BatchWatch()
+    files: List[Dict[str, Any]] = []
+    metrics_files = 0
+    for path in paths:
+        kind, payload = classify_file(path)
+        if kind == "metrics":
+            registry.merge_snapshot(payload)
+            metrics_files += 1
+            files.append({"path": str(path), "kind": "metrics",
+                          "metrics": len(payload.get("metrics", {}))})
+            continue
+        watch = BatchWatch()
+        watch.update_all(payload)
+        combined.update_all(payload)
+        entry = {"path": str(path), "kind": "telemetry",
+                 "events": len(payload)}
+        entry.update(watch.snapshot())
+        files.append(entry)
+
+    report: Dict[str, Any] = {"files": files}
+    report.update(combined.snapshot())
+    report["failures"] = [
+        {"label": f.get("label", "?"), "error": f.get("error", "?")}
+        for f in combined.failures
+    ]
+    if combined.cache_stats:
+        report["cache"] = combined.cache_stats
+    if metrics_files:
+        report["metrics"] = registry.snapshot()["metrics"]
+    return report
+
+
+def format_report(report: Dict[str, Any]) -> str:
+    """Human-readable report block."""
+    lines = [
+        "observability report",
+        (f"  jobs    : {report['jobs_total']} total | "
+         f"{report['done']} done | {report['failed']} failed | "
+         f"{report['cached']} cached | {report['retried']} retried"),
+        (f"  cycles  : {report['simulated_cycles']:,} simulated over "
+         f"{report['elapsed_seconds']:.3f}s wall"),
+        f"  cache   : {report['cache_hit_rate'] * 100:.1f}% hit rate",
+    ]
+    if report.get("cache"):
+        cs = report["cache"]
+        lines.append(
+            f"  store   : {cs.get('entries', 0)} entries, "
+            f"{cs.get('hits', 0)} hits, {cs.get('misses', 0)} misses, "
+            f"{cs.get('evictions', 0)} evictions")
+    for failure in report.get("failures", []):
+        lines.append(f"  FAILED  : {failure['label']}: {failure['error']}")
+    for entry in report["files"]:
+        if entry["kind"] == "telemetry":
+            lines.append(
+                f"  file    : {entry['path']} ({entry['events']} events)")
+        else:
+            lines.append(
+                f"  file    : {entry['path']} "
+                f"({entry['metrics']} metric(s))")
+    metrics = report.get("metrics")
+    if metrics:
+        lines.append("  metrics :")
+        for name in sorted(metrics):
+            entry = metrics[name]
+            if entry.get("kind") == "histogram":
+                total = sum(s.get("count", 0)
+                            for s in entry.get("series", []))
+                lines.append(f"    {name} (histogram, {total} samples)")
+            else:
+                total = sum(s.get("value", 0.0)
+                            for s in entry.get("series", []))
+                lines.append(f"    {name} = {total:g}")
+    return "\n".join(lines)

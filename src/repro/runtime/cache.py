@@ -18,12 +18,14 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Optional
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
 from repro.sim import SIMULATOR_VERSION
 from repro.sim.stats import KernelStats
 from repro.runtime.jobspec import JobSpec
@@ -101,17 +103,51 @@ class ResultCache:
     """Content-addressed store of :class:`RunSummary` entries.
 
     Tracks ``hits`` / ``misses`` / ``stores`` / ``evictions`` counters
-    for the telemetry batch summary.  ``max_entries`` bounds the store;
-    overflow evicts the oldest files (by mtime).
+    for the telemetry batch summary, and mirrors them into the process
+    metrics registry (``result_cache_events_total{event=...}``,
+    ``result_cache_evictions_total{reason=...}``) when that is enabled.
+
+    Three eviction policies compose (each counted under its reason):
+
+    * ``max_entries`` — LRU-by-mtime entry-count bound (``capacity``);
+    * ``max_bytes`` — total on-disk byte budget, oldest entries evicted
+      until the store fits (``bytes``);
+    * ``ttl_seconds`` — entries older than the TTL are dropped on sweep
+      or lookup (``ttl``).
     """
 
-    def __init__(self, cache_dir=None, max_entries: int = 4096) -> None:
+    def __init__(self, cache_dir=None, max_entries: int = 4096,
+                 max_bytes: Optional[int] = None,
+                 ttl_seconds: Optional[float] = None) -> None:
         self.dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.ttl_seconds = ttl_seconds
         self.hits = 0
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.evictions_by_reason: Dict[str, int] = {
+            "capacity": 0, "bytes": 0, "ttl": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def _count_event(self, event: str) -> None:
+        get_registry().counter(
+            "result_cache_events_total", "Result-cache lookups and stores"
+        ).inc(event=event)
+
+    def _evict(self, path: Path, reason: str) -> None:
+        path.unlink(missing_ok=True)
+        self.evictions += 1
+        self.evictions_by_reason[reason] += 1
+        get_registry().counter(
+            "result_cache_evictions_total", "Result-cache evictions"
+        ).inc(reason=reason)
+
+    def _expired(self, mtime: float, now: float) -> bool:
+        return (self.ttl_seconds is not None
+                and now - mtime > self.ttl_seconds)
 
     # ------------------------------------------------------------------
     def key(self, spec: JobSpec) -> str:
@@ -129,6 +165,12 @@ class ResultCache:
         path = self._path(self.key(spec))
         if not path.exists():
             self.misses += 1
+            self._count_event("miss")
+            return None
+        if self._expired(path.stat().st_mtime, time.time()):
+            self._evict(path, "ttl")
+            self.misses += 1
+            self._count_event("miss")
             return None
         try:
             entry = json.loads(path.read_text())
@@ -141,8 +183,10 @@ class ResultCache:
             # Corrupt or stale entry: drop it and treat as a miss.
             path.unlink(missing_ok=True)
             self.misses += 1
+            self._count_event("miss")
             return None
         self.hits += 1
+        self._count_event("hit")
         return summary
 
     def put(self, spec: JobSpec, summary: RunSummary) -> None:
@@ -160,15 +204,40 @@ class ResultCache:
         tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
         os.replace(tmp, path)
         self.stores += 1
+        self._count_event("store")
         self._evict_overflow()
 
     def _evict_overflow(self) -> None:
-        entries = sorted(self.dir.glob("*.json"),
-                         key=lambda p: p.stat().st_mtime)
+        """Apply TTL, byte-budget and entry-count policies, in order."""
+        now = time.time()
+        entries = []
+        for path in self.dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # raced with another process's eviction
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort()
+
+        if self.ttl_seconds is not None:
+            live = []
+            for mtime, size, path in entries:
+                if self._expired(mtime, now):
+                    self._evict(path, "ttl")
+                else:
+                    live.append((mtime, size, path))
+            entries = live
+
+        if self.max_bytes is not None:
+            total = sum(size for _mtime, size, _path in entries)
+            while entries and total > self.max_bytes:
+                _mtime, size, path = entries.pop(0)
+                self._evict(path, "bytes")
+                total -= size
+
         excess = len(entries) - self.max_entries
-        for path in entries[:max(0, excess)]:
-            path.unlink(missing_ok=True)
-            self.evictions += 1
+        for _mtime, _size, path in entries[:max(0, excess)]:
+            self._evict(path, "capacity")
 
     # ------------------------------------------------------------------
     def entries(self) -> int:
@@ -177,15 +246,32 @@ class ResultCache:
             return 0
         return sum(1 for _ in self.dir.glob("*.json"))
 
+    def bytes_used(self) -> int:
+        """Total size of entry files currently on disk."""
+        if not self.dir.exists():
+            return 0
+        total = 0
+        for path in self.dir.glob("*.json"):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+        return total
+
     def stats(self) -> Dict[str, Any]:
         """Counter snapshot for telemetry and the CLI."""
         return {
             "dir": str(self.dir),
             "entries": self.entries(),
+            "bytes": self.bytes_used(),
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "evictions_by_reason": dict(self.evictions_by_reason),
+            "max_entries": self.max_entries,
+            "max_bytes": self.max_bytes,
+            "ttl_seconds": self.ttl_seconds,
             "schema": SCHEMA_VERSION,
             "simulator_version": SIMULATOR_VERSION,
         }

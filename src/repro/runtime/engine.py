@@ -30,6 +30,8 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, ReproError
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.runtime.cache import ResultCache, RunSummary
 from repro.runtime.jobspec import JobSpec
 from repro.runtime.telemetry import Telemetry
@@ -51,7 +53,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def _execute_spec(spec: JobSpec) -> Dict[str, Any]:
-    """Worker entry point: run one job, return its summary dict.
+    """Run one job, return its summary dict.
 
     Module-level (not a method) so ``ProcessPoolExecutor`` can pickle
     it by reference; returns plain dicts so nothing exotic crosses the
@@ -59,6 +61,33 @@ def _execute_spec(spec: JobSpec) -> Dict[str, Any]:
     """
     result = spec.execute()
     return RunSummary.from_run_result(result).to_dict()
+
+
+def _pool_execute(spec: JobSpec) -> Dict[str, Any]:
+    """Process-pool entry point: execute, then ship worker metrics.
+
+    Attaches the worker registry's snapshot under ``"_metrics"`` and
+    clears it, so the parent can fold worker-side metrics — kernel
+    counters, phase and stall cycles — into its own registry.  Only the
+    pool path ships: on the serial path the job already accumulates
+    into the parent registry directly, and a snapshot+clear would wipe
+    unrelated counters.  Dispatches through the module global so tests
+    can monkeypatch ``_execute_spec`` for both paths.
+    """
+    out = _execute_spec(spec)
+    registry = get_registry()
+    if registry.enabled:
+        out["_metrics"] = registry.snapshot()
+        registry.clear()
+    return out
+
+
+def _absorb_metrics(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Merge a worker's shipped metrics snapshot into this process."""
+    snap = data.pop("_metrics", None)
+    if snap:
+        get_registry().merge_snapshot(snap)
+    return data
 
 
 # ----------------------------------------------------------------------
@@ -89,14 +118,34 @@ class BatchEngine:
         telemetry: Optional[Telemetry] = None,
         timeout: Optional[float] = None,
         retries: int = 1,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         """``timeout`` is per-job wall seconds (None = unbounded);
-        ``retries`` counts extra attempts after a worker crash."""
+        ``retries`` counts extra attempts after a worker crash;
+        ``tracer`` records one span per job lifecycle (submit to
+        completion) for Chrome trace export."""
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.timeout = timeout
         self.retries = max(0, retries)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+
+    # ------------------------------------------------------------------
+    def _job_done(self, status: str, wall: float) -> None:
+        """Per-job registry bookkeeping shared by all completion paths."""
+        registry = get_registry()
+        registry.counter("engine_jobs_total",
+                         "Engine jobs by final status").inc(status=status)
+        if status != "cached":  # cached jobs never entered the gauge
+            registry.gauge("engine_jobs_in_flight",
+                           "Jobs started but not finished").inc(-1)
+            registry.histogram("engine_job_wall_seconds",
+                               "Wall-clock seconds per job").observe(wall)
+
+    def _job_started(self) -> None:
+        get_registry().gauge("engine_jobs_in_flight",
+                             "Jobs started but not finished").inc(1)
 
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> List[JobOutcome]:
@@ -111,6 +160,7 @@ class BatchEngine:
                     outcomes[idx] = JobOutcome(spec, "cached", summary)
                     self.telemetry.emit("cached", spec,
                                         cycles=summary.total_cycles)
+                    self._job_done("cached", 0.0)
                     continue
             pending.append((idx, spec))
 
@@ -134,6 +184,7 @@ class BatchEngine:
         self.telemetry.emit("finished", spec,
                             cycles=summary.total_cycles,
                             wall=round(wall, 6), attempt=attempts)
+        self._job_done("ok", wall)
 
     def _record_failure(self, idx: int, spec: JobSpec, error: str,
                         attempts: int, wall: float,
@@ -141,20 +192,28 @@ class BatchEngine:
         outcomes[idx] = JobOutcome(spec, "failed", None, error, attempts,
                                    wall)
         self.telemetry.emit("failed", spec, error=error, attempt=attempts)
+        self._job_done("failed", wall)
 
     def _run_serial(self, pending, outcomes) -> None:
         for idx, spec in pending:
             self.telemetry.emit("started", spec, attempt=1)
+            self._job_started()
             start = time.perf_counter()
-            try:
-                summary = RunSummary.from_dict(_execute_spec(spec))
-            except Exception as exc:  # noqa: BLE001 - structured failure
-                self._record_failure(
-                    idx, spec, f"{type(exc).__name__}: {exc}", 1,
-                    time.perf_counter() - start, outcomes)
-                continue
-            self._record_success(idx, spec, summary, 1,
-                                 time.perf_counter() - start, outcomes)
+            with self.tracer.span(f"job:{spec.label}", cat="job",
+                                  tid="engine") as span:
+                try:
+                    summary = RunSummary.from_dict(_execute_spec(spec))
+                except Exception as exc:  # noqa: BLE001 - structured
+                    span.args["status"] = "failed"
+                    self._record_failure(
+                        idx, spec, f"{type(exc).__name__}: {exc}", 1,
+                        time.perf_counter() - start, outcomes)
+                    continue
+                span.args["status"] = "ok"
+                span.args["cycles"] = summary.total_cycles
+                self._record_success(idx, spec, summary, 1,
+                                     time.perf_counter() - start,
+                                     outcomes)
 
     def _run_parallel(self, pending, outcomes) -> None:
         queue: List[Tuple[int, JobSpec, int]] = [
@@ -169,15 +228,21 @@ class BatchEngine:
             try:
                 for idx, spec, attempt in batch:
                     self.telemetry.emit("started", spec, attempt=attempt)
+                    self._job_started()
                     futures.append(
                         (idx, spec, attempt, time.perf_counter(),
-                         pool.submit(_execute_spec, spec))
+                         pool.submit(_pool_execute, spec))
                     )
                 for idx, spec, attempt, start, future in futures:
                     wall = None
                     try:
-                        data = future.result(timeout=self.timeout)
+                        data = _absorb_metrics(
+                            future.result(timeout=self.timeout))
                         wall = time.perf_counter() - start
+                        self.tracer.add_span(
+                            f"job:{spec.label}", "job",
+                            self.tracer.now_us() - wall * 1e6,
+                            wall * 1e6, tid="engine", status="ok")
                         self._record_success(
                             idx, spec, RunSummary.from_dict(data),
                             attempt, wall, outcomes)
@@ -194,6 +259,16 @@ class BatchEngine:
                         if attempt <= self.retries:
                             self.telemetry.emit("retried", spec,
                                                 attempt=attempt + 1)
+                            registry = get_registry()
+                            registry.counter(
+                                "engine_retries_total",
+                                "Jobs requeued after a worker crash"
+                            ).inc()
+                            # The retry re-enters the gauge when its
+                            # fresh attempt starts.
+                            registry.gauge(
+                                "engine_jobs_in_flight",
+                                "Jobs started but not finished").inc(-1)
                             queue.append((idx, spec, attempt + 1))
                         else:
                             self._record_failure(

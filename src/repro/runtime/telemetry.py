@@ -8,6 +8,13 @@ number).  Events accumulate in memory and, when a sink path is given,
 stream to a JSONL file one object per line; :meth:`Telemetry.summary`
 folds them into the batch-end report (job counts, wall time, simulated
 cycles, cache counters).
+
+Every emit also counts into the process metrics registry
+(``telemetry_events_total{kind=...}``,
+``engine_simulated_cycles_total``), so engine counters, result-cache
+counters and simulator stats share one export path
+(:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) when observability
+is enabled.
 """
 
 from __future__ import annotations
@@ -17,6 +24,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
+
+from repro.obs.metrics import get_registry
 
 
 @dataclass
@@ -63,6 +72,14 @@ class Telemetry:
         )
         self.events.append(event)
         self.counts[kind] = self.counts.get(kind, 0) + 1
+        registry = get_registry()
+        registry.counter("telemetry_events_total",
+                         "Run telemetry events by kind").inc(kind=kind)
+        if kind in ("finished", "cached") and "cycles" in payload:
+            registry.counter(
+                "engine_simulated_cycles_total",
+                "Simulated cycles of completed jobs"
+            ).inc(payload["cycles"], source=kind)
         if self.path:
             with self.path.open("a") as sink:
                 sink.write(json.dumps(event.to_dict(),

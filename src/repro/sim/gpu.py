@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, Iterator, Optional
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.metrics import get_registry
 from repro.sim.config import GPUConfig
 from repro.sim.instructions import Instr, Op, Phase, as_index_array
 from repro.sim.memory import MemoryHierarchy
@@ -128,6 +129,12 @@ class GPU:
         self.memory.begin_kernel()
         stats = KernelStats()
         dram_before = self.memory.dram_accesses
+        # Duck-typed: tracers predating stall attribution only expose
+        # ``record``.
+        record_stall = getattr(tracer, "record_stall", None)
+        registry = get_registry()
+        cache_before = (self.memory.cache_counts() if registry.enabled
+                        else None)
 
         cores = []
         units: Dict[int, Any] = {}
@@ -159,10 +166,14 @@ class GPU:
                     release = max(max(w.ready for w in blocked), t)
                     # Barrier cost is warp-level waiting: early arrivals
                     # sit idle until the last warp shows up.
-                    stats.stall_cycles[StallCat.SYNC] += sum(
-                        release - w.ready for w in blocked
-                    )
                     for w in blocked:
+                        wait = release - w.ready
+                        if wait:
+                            stats.stall_cells[
+                                (core_id, w.slot, StallCat.SYNC)] += wait
+                            if record_stall is not None:
+                                record_stall(w.ready, core_id, w.slot,
+                                             StallCat.SYNC, wait)
                         w.state = _RUNNING
                         w.ready = release
                     heapq.heappush(heap, (release, core_id))
@@ -171,8 +182,14 @@ class GPU:
             warp = min(running, key=_ready_of)
             if warp.ready > t:
                 gap = warp.ready - t
-                stats.stall_cycles[stall_category(warp.blocked_op)] += gap
+                cat = stall_category(warp.blocked_op)
+                # Only the attribution cells accumulate in the loop;
+                # the per-category counters are folded from them at
+                # kernel end, keeping the hot path at one increment.
+                stats.stall_cells[(core_id, warp.slot, cat)] += gap
                 stats.phase_cycles[warp.blocked_phase] += gap
+                if record_stall is not None:
+                    record_stall(t, core_id, warp.slot, cat, gap)
                 t = warp.ready
 
             try:
@@ -220,8 +237,14 @@ class GPU:
             core_time[core_id] = max(core_time[core_id], tail)
 
         stats.total_cycles = max(core_time) if core_time else 0
+        for (_core, _warp, cat), cycles in stats.stall_cells.items():
+            stats.stall_cycles[cat] += cycles
         stats.cache = self.memory.cache_stats()
         stats.dram_accesses = self.memory.dram_accesses - dram_before
+        if registry.enabled:
+            registry.publish_kernel_stats(stats)
+            self.memory.publish_metrics(registry, cache_before,
+                                        stats.dram_accesses)
         return stats
 
     # ------------------------------------------------------------------

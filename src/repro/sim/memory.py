@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import ConfigError, SimulationError
-from repro.sim.cache import Cache
+from repro.sim.cache import Cache, publish_cache_metrics
 from repro.sim.config import GPUConfig
 from repro.sim.stats import CacheStats
 
@@ -176,6 +176,42 @@ class MemoryHierarchy:
         if self.l3 is not None:
             merged["L3"] = self.l3.stats
         return merged
+
+    def cache_counts(self) -> Dict[str, Tuple[int, int]]:
+        """Cumulative ``(hits, misses)`` per merged level.
+
+        The delta baseline for per-kernel metrics publication — cache
+        tag state (and so its counters) persists across kernels on one
+        GPU, but metrics want per-kernel increments.
+        """
+        return {name: (cs.hits, cs.misses)
+                for name, cs in self.cache_stats().items()}
+
+    def publish_metrics(self, registry, before=None,
+                        dram_accesses: int = 0) -> None:
+        """Fold this kernel's memory traffic into a metrics registry.
+
+        ``before`` is the :meth:`cache_counts` snapshot taken at kernel
+        start; counters receive only the delta.
+        """
+        registry.counter(
+            "sim_dram_accesses_total", "DRAM line fills"
+        ).inc(dram_accesses)
+        before = before or {}
+        for name, cache in [("L1", None), ("L2", self.l2),
+                            ("L3", self.l3)]:
+            if name == "L1":
+                merged = CacheStats()
+                for level in self.l1:
+                    merged.merge(level.stats)
+                hits, misses = merged.hits, merged.misses
+            elif cache is None:
+                continue
+            else:
+                hits, misses = cache.stats.hits, cache.stats.misses
+            prev_hits, prev_misses = before.get(name, (0, 0))
+            publish_cache_metrics(registry, name, hits - prev_hits,
+                                  misses - prev_misses)
 
     def begin_kernel(self) -> None:
         """Reset the controller timeline — kernel clocks start at 0."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Dict
+from typing import Dict, Tuple
 
 from repro.sim.instructions import Op, Phase, PHASE_LABELS
 
@@ -101,6 +101,12 @@ class KernelStats:
     counters: Dict[str, int] = field(default_factory=lambda: defaultdict(int))
     cache: Dict[str, CacheStats] = field(default_factory=dict)
     dram_accesses: int = 0
+    #: Stall attribution cells: (core, warp slot, category) -> cycles.
+    #: Always populated by the engine; sums exactly to ``stall_cycles``
+    #: (the Fig. 4 per-core/per-warp view).
+    stall_cells: Dict[Tuple[int, int, StallCat], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
 
     # ------------------------------------------------------------------
     @property
@@ -132,6 +138,8 @@ class KernelStats:
             self.counters[k] += v
         for name, cs in other.cache.items():
             self.cache.setdefault(name, CacheStats()).merge(cs)
+        for cell, v in other.stall_cells.items():
+            self.stall_cells[cell] += v
 
     # ------------------------------------------------------------------
     def phase_breakdown(self) -> Dict[str, int]:
@@ -145,6 +153,33 @@ class KernelStats:
         return {
             STALL_LABELS[s]: c for s, c in sorted(self.stall_cycles.items())
         }
+
+    # ------------------------------------------------------------------
+    def stall_by_core(self) -> Dict[int, Dict[StallCat, int]]:
+        """Attributed stall cycles folded to core granularity."""
+        out: Dict[int, Dict[StallCat, int]] = {}
+        for (core, _warp, cat), cycles in self.stall_cells.items():
+            out.setdefault(core, defaultdict(int))[cat] += cycles
+        return {core: dict(cats) for core, cats in sorted(out.items())}
+
+    def stall_by_warp(self, core: int) -> Dict[int, Dict[StallCat, int]]:
+        """Attributed stall cycles of one core, per warp slot."""
+        out: Dict[int, Dict[StallCat, int]] = {}
+        for (c, warp, cat), cycles in self.stall_cells.items():
+            if c == core:
+                out.setdefault(warp, defaultdict(int))[cat] += cycles
+        return {warp: dict(cats) for warp, cats in sorted(out.items())}
+
+    def stall_cells_total(self) -> Dict[StallCat, int]:
+        """Attribution cells folded back to categories.
+
+        Equals ``stall_cycles`` whenever the stats came from the
+        engine — the consistency check behind Fig. 4's attribution.
+        """
+        out: Dict[StallCat, int] = defaultdict(int)
+        for (_core, _warp, cat), cycles in self.stall_cells.items():
+            out[cat] += cycles
+        return dict(out)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serializable snapshot (for tooling and archival)."""
@@ -172,7 +207,7 @@ class KernelStats:
         :meth:`from_summary_dict` can rebuild an equivalent object on
         the other side of a process or cache-file boundary.
         """
-        return {
+        out = {
             "total_cycles": self.total_cycles,
             "instructions": self.instructions,
             "warps_launched": self.warps_launched,
@@ -189,6 +224,13 @@ class KernelStats:
                 for name, cs in self.cache.items()
             },
         }
+        if self.stall_cells:
+            out["stall_cells"] = {
+                f"{core}/{warp}/{cat.name}": cycles
+                for (core, warp, cat), cycles
+                in sorted(self.stall_cells.items())
+            }
+        return out
 
     @classmethod
     def from_summary_dict(cls, data: Dict[str, object]) -> "KernelStats":
@@ -211,6 +253,10 @@ class KernelStats:
             stats.cache[name] = CacheStats(
                 hits=int(counts["hits"]), misses=int(counts["misses"])
             )
+        for cell, cycles in data.get("stall_cells", {}).items():
+            core, warp, cat = cell.split("/")
+            stats.stall_cells[(int(core), int(warp),
+                               StallCat[cat])] = int(cycles)
         return stats
 
     def summary(self) -> str:

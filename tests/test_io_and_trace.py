@@ -134,9 +134,45 @@ def test_tracer_latency_and_filter():
 
 def test_tracer_bound_drops():
     tracer = ExecutionTracer(max_events=1)
-    run_traced(tracer)
+    with pytest.warns(RuntimeWarning, match="bound of 1 events reached"):
+        run_traced(tracer)
     assert len(tracer) == 1
     assert tracer.dropped > 0
+
+
+def test_tracer_warns_once_and_surfaces_truncation():
+    tracer = ExecutionTracer(max_events=1)
+    with pytest.warns(RuntimeWarning) as caught:
+        run_traced(tracer)
+        run_traced(tracer)  # a second overrun stays silent
+    assert len(caught) == 1
+
+    summary = tracer.summary()
+    assert summary["events"] == 1
+    assert summary["max_events"] == 1
+    assert summary["dropped"] == tracer.dropped > 0
+    assert "dropped_stalls" in summary
+    assert "TRUNCATED" in repr(tracer)
+    assert f"dropped={tracer.dropped}" in repr(tracer)
+
+
+def test_tracer_untruncated_summary_is_clean():
+    tracer = ExecutionTracer()
+    run_traced(tracer)
+    summary = tracer.summary()
+    assert summary["dropped"] == 0 and summary["dropped_stalls"] == 0
+    assert "TRUNCATED" not in repr(tracer)
+
+
+def test_tracer_records_stalls():
+    tracer = ExecutionTracer()
+    stats = run_traced(tracer)
+    recorded = tracer.stall_summary()
+    # Every attributed stall cycle the simulator counted shows up in
+    # the tracer's stream (same source, same numbers).
+    assert recorded == {cat: c for cat, c in stats.stall_cycles.items()
+                        if c}
+    assert tracer.summary()["stalls"] == len(tracer.stalls)
 
 
 def test_tracer_timeline_text():

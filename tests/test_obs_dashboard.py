@@ -1,0 +1,216 @@
+"""Dashboard follower/renderer, report aggregation, tail/report CLI."""
+
+import io
+import json
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.obs.dashboard import BatchWatch, JSONLFollower, render, tail
+from repro.obs.report import aggregate, classify_file, format_report
+
+
+def write_jsonl(path, records):
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+TELEMETRY = [
+    {"kind": "submitted", "job": "aaa", "label": "pr/g/vm", "time": 10.0},
+    {"kind": "submitted", "job": "bbb", "label": "pr/g/wm", "time": 10.0},
+    {"kind": "submitted", "job": "ccc", "label": "pr/g/sw", "time": 10.0},
+    {"kind": "cached", "job": "ccc", "label": "pr/g/sw", "time": 10.1,
+     "cycles": 500},
+    {"kind": "started", "job": "aaa", "label": "pr/g/vm", "time": 10.2},
+    {"kind": "started", "job": "bbb", "label": "pr/g/wm", "time": 10.2},
+    {"kind": "finished", "job": "aaa", "label": "pr/g/vm", "time": 11.0,
+     "cycles": 1000, "wall": 0.8},
+    {"kind": "failed", "job": "bbb", "label": "pr/g/wm", "time": 11.5,
+     "error": "SimulationError: boom"},
+    {"kind": "batch_summary", "time": 11.6,
+     "cache": {"entries": 2, "hits": 1, "misses": 2, "stores": 1,
+               "evictions": 0, "dir": "/tmp/c"}},
+]
+
+
+# ----------------------------------------------------------------------
+def test_follower_reads_incrementally(tmp_path):
+    path = tmp_path / "events.jsonl"
+    path.write_text('{"kind": "submitted", "job": "a"}\n')
+    follower = JSONLFollower(path)
+    assert [r["kind"] for r in follower.poll()] == ["submitted"]
+    assert follower.poll() == []  # nothing new
+
+    with open(path, "a") as handle:
+        handle.write('{"kind": "started", "job": "a"}\n{"kind": "fin')
+    assert [r["kind"] for r in follower.poll()] == ["started"]
+    with open(path, "a") as handle:  # complete the partial line
+        handle.write('ished", "job": "a"}\n')
+    assert [r["kind"] for r in follower.poll()] == ["finished"]
+    assert follower.bad_lines == 0
+
+
+def test_follower_handles_truncation_and_garbage(tmp_path):
+    path = tmp_path / "events.jsonl"
+    write_jsonl(path, TELEMETRY[:4])
+    follower = JSONLFollower(path)
+    assert len(follower.poll()) == 4
+    path.write_text('not json\n{"kind": "submitted", "job": "x"}\n')
+    records = follower.poll()  # reset to top after shrink
+    assert [r["kind"] for r in records] == ["submitted"]
+    assert follower.bad_lines == 1
+
+
+def test_follower_missing_file(tmp_path):
+    assert JSONLFollower(tmp_path / "absent.jsonl").poll() == []
+
+
+# ----------------------------------------------------------------------
+def test_batchwatch_snapshot():
+    watch = BatchWatch()
+    watch.update_all(TELEMETRY)
+    snap = watch.snapshot()
+    assert snap["jobs_total"] == 3
+    assert snap["done"] == 2 and snap["failed"] == 1
+    assert snap["cached"] == 1 and snap["running"] == 0
+    assert snap["simulated_cycles"] == 1500
+    assert snap["finished"] is True
+    assert snap["cache_hit_rate"] == pytest.approx(1 / 3, abs=1e-4)
+    assert watch.failures[0]["label"] == "pr/g/wm"
+
+
+def test_render_frame():
+    watch = BatchWatch()
+    watch.update_all(TELEMETRY)
+    frame = render(watch, clock=0.0)
+    assert "3 total" in frame
+    assert "100%" in frame
+    assert "1,500 simulated" in frame
+    assert "pr/g/wm failed: SimulationError: boom" in frame
+    assert "2 entries" in frame
+
+
+def test_tail_once_reads_static_file(tmp_path):
+    path = tmp_path / "events.jsonl"
+    write_jsonl(path, TELEMETRY)
+    out = io.StringIO()
+    watch = tail(path, follow=False, out=out)
+    assert watch.finished
+    assert "3 total" in out.getvalue()
+
+
+def test_tail_follows_growing_file(tmp_path):
+    """The dashboard keeps up with a writer appending concurrently."""
+    path = tmp_path / "events.jsonl"
+    write_jsonl(path, TELEMETRY[:2])
+
+    def writer():
+        for record in TELEMETRY[2:]:
+            time.sleep(0.02)
+            with open(path, "a") as handle:
+                handle.write(json.dumps(record) + "\n")
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    out = io.StringIO()
+    watch = tail(path, follow=True, interval=0.01, max_frames=500,
+                 out=out, use_ansi=False)
+    thread.join()
+    # Exited because batch_summary arrived, having seen every record.
+    assert watch.finished
+    assert watch.snapshot()["jobs_total"] == 3
+    assert out.getvalue().count("batch telemetry") >= 2
+
+
+def test_tail_stops_at_max_frames(tmp_path):
+    path = tmp_path / "events.jsonl"
+    write_jsonl(path, TELEMETRY[:3])  # no batch_summary => never "done"
+    watch = tail(path, follow=True, interval=0.001, max_frames=3,
+                 out=io.StringIO(), use_ansi=False)
+    assert not watch.finished
+
+
+# ----------------------------------------------------------------------
+def test_classify_file(tmp_path):
+    events = tmp_path / "events.jsonl"
+    write_jsonl(events, TELEMETRY)
+    kind, records = classify_file(events)
+    assert kind == "telemetry" and len(records) == len(TELEMETRY)
+
+    metrics = tmp_path / "metrics.json"
+    metrics.write_text(json.dumps(
+        {"metrics": {"c": {"kind": "counter", "help": "",
+                           "series": [{"labels": {}, "value": 2.0}]}}}))
+    kind, snap = classify_file(metrics)
+    assert kind == "metrics" and "c" in snap["metrics"]
+
+    garbage = tmp_path / "garbage.txt"
+    garbage.write_text("definitely not json\n")
+    with pytest.raises(ReproError):
+        classify_file(garbage)
+    with pytest.raises(ReproError):
+        classify_file(tmp_path / "missing.jsonl")
+
+
+def test_aggregate_telemetry_and_metrics(tmp_path):
+    events = tmp_path / "events.jsonl"
+    write_jsonl(events, TELEMETRY)
+    metrics = tmp_path / "metrics.json"
+    metrics.write_text(json.dumps(
+        {"metrics": {"sim_cycles_total": {
+            "kind": "counter", "help": "",
+            "series": [{"labels": {}, "value": 1500.0}]}}}))
+
+    report = aggregate([events, metrics])
+    assert report["jobs_total"] == 3
+    assert report["failed"] == 1
+    assert report["simulated_cycles"] == 1500
+    assert [f["kind"] for f in report["files"]] == ["telemetry", "metrics"]
+    assert report["metrics"]["sim_cycles_total"]["series"][0]["value"] == 1500
+    assert report["failures"] == [
+        {"label": "pr/g/wm", "error": "SimulationError: boom"}]
+
+    text = format_report(report)
+    assert "3 total" in text and "1 failed" in text
+    assert "sim_cycles_total = 1500" in text
+
+
+def test_aggregate_merges_two_sinks(tmp_path):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    write_jsonl(a, TELEMETRY[:4])
+    write_jsonl(b, TELEMETRY[4:])
+    report = aggregate([a, b])
+    assert report["jobs_total"] == 3
+    assert report["done"] == 2 and report["failed"] == 1
+
+
+# ----------------------------------------------------------------------
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_cli_tail_once(capsys, tmp_path):
+    path = tmp_path / "events.jsonl"
+    write_jsonl(path, TELEMETRY)
+    code, out = run_cli(capsys, "tail", str(path), "--once", "--json")
+    assert code == 1  # one failed job
+    assert "batch telemetry" in out
+    last = out.strip().splitlines()[-1]
+    assert json.loads(last)["jobs_total"] == 3
+
+
+def test_cli_report(capsys, tmp_path):
+    path = tmp_path / "events.jsonl"
+    write_jsonl(path, [r for r in TELEMETRY if r["kind"] != "failed"])
+    code, out = run_cli(capsys, "report", str(path))
+    assert code == 0
+    assert "observability report" in out
+    code, out = run_cli(capsys, "report", str(path), "--json")
+    assert code == 0
+    assert json.loads(out)["done"] == 2

@@ -11,6 +11,7 @@ SUBPACKAGES = [
     "repro.graph", "repro.sim", "repro.core", "repro.sched",
     "repro.frontend", "repro.algorithms", "repro.autotune",
     "repro.bench", "repro.apps", "repro.cli", "repro.runtime",
+    "repro.obs",
 ]
 
 

@@ -1,6 +1,8 @@
 """Result cache: memoization, versioning, eviction, stats round-trip."""
 
 import json
+import os
+import time
 
 import pytest
 
@@ -108,3 +110,92 @@ def test_eviction_bounds_entries(tmp_path, summary):
         cache.put(dataclasses.replace(base, seed=i), summary)
     assert cache.entries() <= 2
     assert cache.evictions == 2
+    assert cache.evictions_by_reason["capacity"] == 2
+
+
+def _seeded_specs(n):
+    import dataclasses
+
+    base = JobSpec(
+        algorithm=AlgorithmSpec.of("pagerank", iterations=1),
+        graph=GraphSpec.from_dataset("bio-human", scale=0.2),
+        schedule="vertex_map",
+        config=GPUConfig.vortex_tiny(),
+    )
+    return [dataclasses.replace(base, seed=i) for i in range(n)]
+
+
+def test_byte_budget_evicts_oldest(tmp_path, summary):
+    probe = ResultCache(tmp_path / "probe")
+    specs = _seeded_specs(4)
+    probe.put(specs[0], summary)
+    entry_size = probe.bytes_used()
+
+    cache = ResultCache(tmp_path / "real", max_bytes=2 * entry_size)
+    for i, spec in enumerate(specs):
+        cache.put(spec, summary)
+        os.utime(cache._path(cache.key(spec)), (i, i))  # force mtime order
+    assert cache.bytes_used() <= 2 * entry_size
+    assert cache.evictions_by_reason["bytes"] == 2
+    # The newest entries survived; the oldest were evicted.
+    assert cache.get(specs[0]) is None
+    assert cache.get(specs[3]) is not None
+    stats = cache.stats()
+    assert stats["max_bytes"] == 2 * entry_size
+    assert stats["evictions_by_reason"]["bytes"] == 2
+
+
+def test_ttl_evicts_on_lookup_and_sweep(tmp_path, spec, summary):
+    cache = ResultCache(tmp_path, ttl_seconds=60)
+    cache.put(spec, summary)
+    assert cache.get(spec) is not None  # fresh entry hits
+
+    stale = time.time() - 120
+    os.utime(cache._path(cache.key(spec)), (stale, stale))
+    assert cache.get(spec) is None  # lookup notices the expiry
+    assert cache.evictions_by_reason["ttl"] == 1
+    assert cache.entries() == 0
+
+    # The store-time sweep also reaps other stale entries.
+    specs = _seeded_specs(2)
+    cache.put(specs[0], summary)
+    os.utime(cache._path(cache.key(specs[0])), (stale, stale))
+    cache.put(specs[1], summary)
+    assert cache.evictions_by_reason["ttl"] == 2
+    assert cache.get(specs[1]) is not None
+
+
+def test_eviction_reasons_reach_registry(tmp_path, spec, summary):
+    from repro.obs.metrics import MetricsRegistry, get_registry
+
+    registry = get_registry()
+    was_enabled, registry.enabled = registry.enabled, True
+    registry.clear()
+    try:
+        cache = ResultCache(tmp_path, ttl_seconds=60)
+        cache.get(spec)  # miss
+        cache.put(spec, summary)  # store
+        cache.get(spec)  # hit
+        stale = time.time() - 120
+        os.utime(cache._path(cache.key(spec)), (stale, stale))
+        cache.get(spec)  # ttl eviction + miss
+        events = registry.get("result_cache_events_total")
+        assert events.value(event="miss") == 2
+        assert events.value(event="hit") == 1
+        assert events.value(event="store") == 1
+        evictions = registry.get("result_cache_evictions_total")
+        assert evictions.value(reason="ttl") == 1
+    finally:
+        registry.clear()
+        registry.enabled = was_enabled
+
+
+def test_stall_cells_survive_cache_round_trip(tmp_path, spec, summary):
+    """Per-core/warp stall attribution crosses the cache boundary."""
+    assert summary.stats.stall_cells  # the run actually attributed
+    cache = ResultCache(tmp_path)
+    cache.put(spec, summary)
+    hit = cache.get(spec)
+    assert dict(hit.stats.stall_cells) == dict(summary.stats.stall_cells)
+    assert hit.stats.stall_cells_total() == (
+        summary.stats.stall_cells_total())
