@@ -12,254 +12,94 @@ contributes, so the headline results can be attributed:
 * EGHW memory-level parallelism (how many MSHRs the offload-everything
   design would need to catch up),
 * static vertex splitting (Tigr) vs dynamic weaving.
+
+Thin wrappers over the ``ablation_*`` registry figures; the
+parametrized-schedule sweeps ride on ``JobSpec.schedule_params``.
 """
 
-from dataclasses import replace
 
-from conftest import run_once
-
-from repro.algorithms import make_algorithm
-from repro.bench import format_series, run_single
-from repro.graph import dataset
-from repro.sched import SparseWeaverSchedule, SplitVertexMapSchedule
-
-
-def _pr(graph, schedule, config, iters=2):
-    return run_single(
-        make_algorithm("pagerank", iterations=iters), graph, schedule,
-        config=config,
-    ).stats.total_cycles
-
-
-def test_ablation_prefetch_depth(benchmark, emit, bench_config):
-    graph = dataset("graph500", scale=0.25)
-    depths = [1, 2, 4, 8]
-
-    def run():
-        return [
-            _pr(graph, SparseWeaverSchedule(prefetch_depth=d),
-                bench_config)
-            for d in depths
-        ]
-
-    cycles = run_once(benchmark, run)
-    emit("ablation_prefetch_depth", format_series(
-        "prefetch depth", depths, {"cycles": cycles},
-        title="Ablation: Weaver OD prefetch depth (PR, graph500)"))
-    # Any prefetch at all matters little here (the scan outruns the GPU);
-    # it must never hurt.
+def test_ablation_prefetch_depth(run_figure_bench):
+    out = run_figure_bench("ablation_prefetch_depth")
+    cycles = out.data["cycles"]
+    # Any prefetch at all matters little here (the scan outruns the
+    # GPU); it must never hurt.
     assert max(cycles) < 1.3 * min(cycles)
 
 
-def test_ablation_zero_skip_width(benchmark, emit, bench_config):
+def test_ablation_zero_skip_width(run_figure_bench):
     """BFS registers mostly degree-0 vertices; bitmap skipping is what
     keeps the scan from crawling through them."""
-    graph = dataset("hollywood", scale=0.25)
-    widths = [1, 4, 32]
-
-    def run():
-        out = []
-        for w in widths:
-            out.append(run_single(
-                make_algorithm("bfs", source=0), graph,
-                SparseWeaverSchedule(zero_skip_width=w),
-                config=bench_config, max_iterations=3,
-            ).stats.total_cycles)
-        return out
-
-    cycles = run_once(benchmark, run)
-    emit("ablation_zero_skip_width", format_series(
-        "bitmap width", widths, {"cycles": cycles},
-        title="Ablation: zero-entry skip width (BFS, hollywood)"))
+    out = run_figure_bench("ablation_zero_skip_width")
+    cycles = out.data["cycles"]
     assert cycles[-1] < cycles[0]  # wide bitmap scanning pays on BFS
 
 
-def test_ablation_dt_bypass(benchmark, emit, bench_config):
-    graph = dataset("graph500", scale=0.25)
-    lat = replace(bench_config, weaver_table_latency=80,
-                  warps_per_core=16)
-
-    def run():
-        with_bypass = _pr(graph, SparseWeaverSchedule(dt_bypass=True),
-                          lat)
-        without = _pr(graph, SparseWeaverSchedule(dt_bypass=False), lat)
-        return with_bypass, without
-
-    with_bypass, without = run_once(benchmark, run)
-    emit("ablation_dt_bypass", format_series(
-        "dt bypass", ["on", "off"],
-        {"cycles": [with_bypass, without]},
-        title="Ablation: DT write-buffer bypass at table latency 80"))
-    assert with_bypass < without
+def test_ablation_dt_bypass(run_figure_bench):
+    out = run_figure_bench("ablation_dt_bypass")
+    assert out.data["with_bypass"] < out.data["without"]
 
 
-def test_ablation_weaver_capacity(benchmark, emit, bench_config):
+def test_ablation_weaver_capacity(run_figure_bench):
     """Smaller tables force more registration epochs (extra barriers);
     capacity below the resident thread count costs real cycles."""
-    graph = dataset("web-wiki", scale=0.25)
-    capacities = [64, 128, 256, 512]
-
-    def run():
-        return [
-            _pr(graph, "sparseweaver",
-                replace(bench_config, weaver_entries=c))
-            for c in capacities
-        ]
-
-    cycles = run_once(benchmark, run)
-    emit("ablation_weaver_capacity", format_series(
-        "ST/DT entries", capacities, {"cycles": cycles},
-        title="Ablation: Weaver table capacity (PR, web-wiki)"))
+    out = run_figure_bench("ablation_weaver_capacity")
+    cycles = out.data["cycles"]
     assert cycles[0] >= cycles[-1]
 
 
-def test_ablation_eghw_mlp(benchmark, emit, bench_config):
+def test_ablation_eghw_mlp(run_figure_bench):
     """How much memory-level parallelism the offload-everything design
     needs: even at 16 in-flight requests it trails SparseWeaver."""
-    graph = dataset("graph500", scale=0.25)
-    mlps = [1, 2, 4, 8, 16]
-
-    def run():
-        eghw = [
-            _pr(graph, "eghw", replace(bench_config, eghw_mlp=m))
-            for m in mlps
-        ]
-        sw = _pr(graph, "sparseweaver", bench_config)
-        return eghw, sw
-
-    eghw, sw = run_once(benchmark, run)
-    emit("ablation_eghw_mlp", format_series(
-        "EGHW MLP", mlps,
-        {"eghw": eghw, "sparseweaver": [sw] * len(mlps)},
-        title="Ablation: EGHW in-flight memory requests vs SparseWeaver"))
+    out = run_figure_bench("ablation_eghw_mlp")
+    eghw = out.data["eghw"]
+    sw = out.data["sparseweaver"]
     assert all(a >= b for a, b in zip(eghw, eghw[1:]))  # MLP helps EGHW
     assert eghw[-1] > sw                                # but not enough
 
 
-def test_ablation_static_split_vs_weaver(benchmark, emit, bench_config):
+def test_ablation_static_split_vs_weaver(run_figure_bench):
     """Storage-format balancing (Tigr splits) vs dynamic weaving: the
     static transform narrows the gap but keeps indirection + atomic
     costs; the gap is the paper's 'decouple algorithm and balancing'
     argument."""
-    graph = dataset("hollywood", scale=0.25)
-    widths = [4, 8, 16, 32]
-
-    def run():
-        vm = _pr(graph, "vertex_map", bench_config)
-        split = [
-            _pr(graph, SplitVertexMapSchedule(max_degree=w), bench_config)
-            for w in widths
-        ]
-        sw = _pr(graph, "sparseweaver", bench_config)
-        return vm, split, sw
-
-    vm, split, sw = run_once(benchmark, run)
-    emit("ablation_split_vs_weaver", format_series(
-        "split max degree", widths,
-        {"split_vertex_map": split,
-         "vertex_map": [vm] * len(widths),
-         "sparseweaver": [sw] * len(widths)},
-        title="Ablation: Tigr-style static splits vs SparseWeaver (PR)"))
+    out = run_figure_bench("ablation_split_vs_weaver")
+    split = out.data["split"]
+    vm = out.data["vertex_map"]
+    sw = out.data["sparseweaver"]
     assert min(split) < vm       # static splitting does help
     assert sw < min(split)       # dynamic weaving helps more
 
 
-def test_ablation_core_scaling(benchmark, emit, bench_config):
+def test_ablation_core_scaling(run_figure_bench):
     """Scalability: SparseWeaver's per-core unit means block-level
     balancing needs no cross-core coordination; speedup over S_vm is
     stable as cores grow (the paper's 1 vs 16-core area story assumes
     this)."""
-    graph = dataset("hollywood", scale=0.25)
-    core_counts = [1, 2, 4]
-
-    def run():
-        rows = {}
-        for cores in core_counts:
-            cfg = replace(bench_config, num_sockets=1,
-                          cores_per_socket=cores)
-            vm = _pr(graph, "vertex_map", cfg)
-            sw = _pr(graph, "sparseweaver", cfg)
-            rows[cores] = (vm, sw)
-        return rows
-
-    rows = run_once(benchmark, run)
-    emit("ablation_core_scaling", format_series(
-        "cores", core_counts,
-        {"vertex_map": [rows[c][0] for c in core_counts],
-         "sparseweaver": [rows[c][1] for c in core_counts],
-         "speedup": [round(rows[c][0] / rows[c][1], 2)
-                     for c in core_counts]},
-        title="Ablation: core scaling (PR, hollywood)"))
-    for cores in core_counts:
-        vm, sw = rows[cores]
+    out = run_figure_bench("ablation_core_scaling")
+    rows = out.data["rows"]
+    for cores, (vm, sw) in rows.items():
         assert sw < vm, cores
     # more cores help both schemes
     assert rows[4][1] < rows[1][1]
 
 
-def test_ablation_energy_comparison(benchmark, emit, bench_config):
+def test_ablation_energy_comparison(run_figure_bench):
     """Energy view of the main comparison: the SCU/GraphPEG line of
     work motivates hardware scheduling with energy; our first-order
     model shows the Weaver's balanced, redundant-read-free schedule
     saving energy over both naive mapping and EGHW."""
-    from repro.sim.energy import estimate_energy
-
-    graph = dataset("hollywood", scale=0.25)
-    schedules = ["vertex_map", "edge_map", "cta_map", "sparseweaver",
-                 "eghw"]
-
-    def run():
-        rows = {}
-        for sched in schedules:
-            stats = run_single(
-                make_algorithm("pagerank", iterations=2), graph, sched,
-                config=bench_config,
-            ).stats
-            rows[sched] = estimate_energy(stats)
-        return rows
-
-    rows = run_once(benchmark, run)
-    emit("ablation_energy", format_series(
-        "schedule", schedules,
-        {"total nJ": [round(rows[s].total_nj, 1) for s in schedules],
-         "dram nJ": [round(rows[s].picojoules["dram"] / 1000, 1)
-                     for s in schedules]},
-        title="Ablation: first-order energy (PR, hollywood)"))
+    out = run_figure_bench("ablation_energy")
+    rows = out.data["rows"]
     assert rows["sparseweaver"].total_pj < rows["vertex_map"].total_pj
     assert rows["sparseweaver"].total_pj < rows["eghw"].total_pj
 
 
-def test_ablation_vertex_reordering(benchmark, emit, bench_config):
+def test_ablation_vertex_reordering(run_figure_bench):
     """Locality ablation: the paper's datasets are community-reordered;
     shuffling the labels costs every schedule cache hits, and a BFS
     reordering claws most of it back."""
-    from repro.graph import community_graph
-    from repro.graph.reorder import (
-        apply_permutation, bfs_order, locality_score, random_order,
-    )
-
-    base = community_graph(60, 100, 400, 1200, seed=5)
-    shuffled = apply_permutation(base, random_order(base, seed=5))
-    reordered = apply_permutation(shuffled, bfs_order(shuffled))
-    variants = {"original": base, "shuffled": shuffled,
-                "bfs-reordered": reordered}
-
-    def run():
-        rows = {}
-        for name, g in variants.items():
-            rows[name] = (
-                locality_score(g),
-                _pr(g, "sparseweaver", bench_config),
-            )
-        return rows
-
-    rows = run_once(benchmark, run)
-    emit("ablation_reordering", format_series(
-        "layout", list(variants),
-        {"locality score": [round(rows[n][0], 3) for n in variants],
-         "SW cycles": [rows[n][1] for n in variants]},
-        title="Ablation: vertex ordering vs locality (PR, "
-              "community graph)"))
+    out = run_figure_bench("ablation_reordering")
+    rows = out.data["rows"]
     # label shuffling costs real cycles; BFS reordering recovers most
     assert rows["shuffled"][1] > 1.5 * rows["original"][1]
     assert rows["bfs-reordered"][1] < 0.7 * rows["shuffled"][1]

@@ -4,54 +4,23 @@ Beyond Fig. 10's five: the Table I schemes the paper only tabulates
 (S_twc, S_twce, S_strict), the Tigr-style static splits, and EGHW, all
 ranked on a skewed and a flat workload. Expected shape: SparseWeaver at
 or near the top on skew; naive vertex mapping untouchable on roads.
+
+Thin wrapper over the ``extended_ranking`` registry figure.
 """
 
-from conftest import run_once
 
-from repro.algorithms import make_algorithm
-from repro.bench import format_bar_chart, format_table, run_single
-from repro.graph import dataset
-from repro.sched import EXTENDED_SCHEDULES
+def test_extended_scheme_ranking(run_figure_bench):
+    out = run_figure_bench("extended_ranking")
+    cycles = out.data["cycles"]
+    schedules = out.data["schedules"]
 
-
-def test_extended_scheme_ranking(benchmark, emit, bench_config):
-    graphs = {
-        "hollywood": dataset("hollywood", scale=0.25),
-        "road-ca": dataset("road-ca", scale=0.25),
-    }
-
-    def run():
-        out = {}
-        for gname, graph in graphs.items():
-            for sched in EXTENDED_SCHEDULES:
-                out[(gname, sched)] = run_single(
-                    make_algorithm("pagerank", iterations=2), graph,
-                    sched, config=bench_config,
-                ).stats.total_cycles
-        return out
-
-    cycles = run_once(benchmark, run)
-    for gname in graphs:
-        base = cycles[(gname, "vertex_map")]
-        rows = sorted(
-            ([s, cycles[(gname, s)], round(base / cycles[(gname, s)], 2)]
-             for s in EXTENDED_SCHEDULES),
-            key=lambda r: r[1],
-        )
-        table = format_table(
-            ["schedule", "cycles", "speedup over S_vm"], rows,
-            title=f"Extended ranking (PR, {gname})")
-        chart = format_bar_chart(
-            {r[0]: r[1] for r in rows}, width=36, unit=" cycles")
-        emit(f"extended_ranking_{gname}", table + "\n\n" + chart)
-
-    holly = {s: cycles[("hollywood", s)] for s in EXTENDED_SCHEDULES}
-    balancing = [s for s in EXTENDED_SCHEDULES
+    holly = {s: cycles[("hollywood", s)] for s in schedules}
+    balancing = [s for s in schedules
                  if s not in ("vertex_map", "eghw")]
     # SparseWeaver leads (within noise of the best) on the skewed graph
     best = min(holly[s] for s in balancing)
     assert holly["sparseweaver"] <= 1.1 * best
-    road = {s: cycles[("road-ca", s)] for s in EXTENDED_SCHEDULES}
+    road = {s: cycles[("road-ca", s)] for s in schedules}
     # On near-regular graphs nothing beats a regular layout: naive
     # vertex mapping — or the ELL slab, which captures every edge of a
     # degree-<=4 graph with zero imbalance and no topology reads.

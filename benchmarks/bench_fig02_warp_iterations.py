@@ -6,61 +6,26 @@ than the balanced schemes);
 (b) measured PR speedups over S_vm — on the dense bio graph S_em wins,
 on graph500 (more vertices per edge) S_wm-style schemes close the gap,
 i.e. no single software scheme dominates.
+
+Thin wrapper over the figure registry: the grids live in
+``repro.figures.defs.fig02_03_04``; this file keeps the paper-shape
+assertions.
 """
 
-from conftest import run_once
 
-from repro.algorithms import make_algorithm
-from repro.bench import format_series, run_schedule_comparison
-from repro.graph import dataset
-from repro.sched import analytic
-
-
-def test_fig2a_expected_warp_iterations(benchmark, emit, bench_config):
-    graphs = {
-        "D_bh": dataset("bio-human", scale=0.25),
-        "D_g500": dataset("graph500", scale=0.25),
-    }
-
-    def run():
-        series = {}
-        for sched in ("vertex_map", "edge_map", "warp_map"):
-            series[sched] = [
-                analytic.expected_warp_iterations(g, sched, bench_config)
-                for g in graphs.values()
-            ]
-        return series
-
-    series = run_once(benchmark, run)
-    emit("fig02a_warp_iterations",
-         format_series("schedule", list(graphs), series,
-                       title="Fig 2a: expected warp iterations"))
+def test_fig2a_expected_warp_iterations(run_figure_bench):
+    out = run_figure_bench("fig02a")
+    series = out.data["series"]
+    graphs = out.data["graphs"]
     for name in graphs:
-        i = list(graphs).index(name)
+        i = graphs.index(name)
         assert series["vertex_map"][i] > series["warp_map"][i]
         assert series["vertex_map"][i] > series["edge_map"][i]
 
 
-def test_fig2b_speedup_over_svm(benchmark, emit, bench_config):
-    graphs = {
-        "D_bh": dataset("bio-human", scale=0.25),
-        "D_g500": dataset("graph500", scale=0.25),
-    }
-
-    def run():
-        return run_schedule_comparison(
-            lambda: make_algorithm("pagerank", iterations=2),
-            graphs, ["vertex_map", "edge_map", "warp_map"],
-            config=bench_config,
-        )
-
-    result = run_once(benchmark, run)
-    sp = result.speedups()
-    emit("fig02b_speedup", format_series(
-        "graph", list(graphs),
-        {s: [sp[g][s] for g in graphs]
-         for s in ("vertex_map", "edge_map", "warp_map")},
-        title="Fig 2b: PR speedup over S_vm"))
+def test_fig2b_speedup_over_svm(run_figure_bench):
+    out = run_figure_bench("fig02b")
+    sp = out.data["speedups"]
     # Balanced schemes beat naive vertex mapping on both datasets.
-    for g in graphs:
+    for g in sp:
         assert max(sp[g]["edge_map"], sp[g]["warp_map"]) > 1.0

@@ -4,46 +4,18 @@ The paper measures PR with software schemes on an Ampere A30 and an Ada
 RTX 4090; we substitute two wider simulator presets (DESIGN.md). Paper
 shape: complex software schedules often beat S_vm (up to 2.80x), and
 the best scheme depends on the GPU and the dataset.
+
+Thin wrapper over the ``fig03`` registry figure.
 """
 
-from conftest import run_once
 
-from repro.algorithms import make_algorithm
-from repro.bench import format_series, run_schedule_comparison
-from repro.graph import dataset
-from repro.sim import GPUConfig
-
-SCHEDULES = ["vertex_map", "edge_map", "warp_map", "cta_map", "twc"]
-
-
-def test_fig3_software_schemes_on_two_gpus(benchmark, emit):
-    graphs = {
-        "D_hw": dataset("hollywood", scale=0.12),
-        "D_uk": dataset("web-uk", scale=0.2),
-    }
-    configs = {
-        "ampere_like": GPUConfig.ampere_like(),
-        "ada_like": GPUConfig.ada_like(),
-    }
-
-    def run():
-        out = {}
-        for cfg_name, cfg in configs.items():
-            out[cfg_name] = run_schedule_comparison(
-                lambda: make_algorithm("pagerank", iterations=2),
-                graphs, SCHEDULES, config=cfg,
-            ).speedups()
-        return out
-
-    speedups = run_once(benchmark, run)
-    for cfg_name, per_graph in speedups.items():
-        emit(f"fig03_{cfg_name}", format_series(
-            "graph", list(graphs),
-            {s: [per_graph[g][s] for g in graphs] for s in SCHEDULES},
-            title=f"Fig 3 ({cfg_name}): PR speedup over S_vm"))
+def test_fig3_software_schemes_on_two_gpus(run_figure_bench):
+    out = run_figure_bench("fig03")
+    speedups = out.data["speedups"]
+    schedules = out.data["schedules"]
     # Shape: some complex scheme beats S_vm on each GPU.
     for cfg_name, per_graph in speedups.items():
         best = max(
-            per_graph[g][s] for g in graphs for s in SCHEDULES[1:]
+            per_graph[g][s] for g in per_graph for s in schedules[1:]
         )
         assert best > 1.0, cfg_name

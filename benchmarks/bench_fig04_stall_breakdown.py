@@ -5,66 +5,30 @@ Paper shape (Nsight on A30, PR, D_hw): scheduling schemes introduce
 S_wm/S_cm, while S_vm's time sits in memory (long scoreboard) stalls —
 and warp-latency-per-instruction varies by schedule.
 
-The grid goes through the batch engine (``engine_opts``) and reads the
-simulator's per-core/per-warp stall *attribution* (``stall_cells``)
-rather than just category totals, checking that attributed cycles sum
-exactly to the category counters — the Nsight-style consistency the
-figure relies on.
+Thin wrapper over the ``fig04`` registry figure; the grid rides the
+batch engine and the assertions read the per-core/per-warp stall
+*attribution* (``stall_cells``) rather than just category totals,
+checking that attributed cycles sum exactly to the category counters —
+the Nsight-style consistency the figure relies on.
 """
 
-from conftest import run_once
-
-from repro.bench import format_breakdown, run_schedule_comparison
-from repro.graph import dataset
-from repro.runtime import AlgorithmSpec
-from repro.sim import GPUConfig
 from repro.sim.stats import StallCat
 
-SCHEDULES = ["vertex_map", "edge_map", "warp_map", "cta_map", "twc",
-             "sparseweaver"]
 
+def test_fig4_stall_breakdown(run_figure_bench):
+    out = run_figure_bench("fig04")
+    stats_by_sched = out.data["stats"]
 
-def test_fig4_stall_breakdown(benchmark, emit, engine_opts):
-    graph = dataset("hollywood", scale=0.12)
-    config = GPUConfig.ampere_like()
-
-    def run():
-        return run_schedule_comparison(
-            AlgorithmSpec.of("pagerank", iterations=2),
-            {"hollywood": graph}, SCHEDULES, config=config,
-            **engine_opts,
-        )
-
-    result = run_once(benchmark, run)
-
-    rows = {}
-    per_core_rows = {}
-    for sched in SCHEDULES:
-        stats = result.runs["hollywood"][sched].stats
-        row = dict(stats.stall_breakdown())
-        row["warp/instr"] = round(
-            stats.total_cycles / max(stats.instructions, 1), 2
-        )
-        rows[sched] = row
+    for sched, stats in stats_by_sched.items():
         # Attribution must account for every stalled cycle the category
         # counters saw — per (core, warp, category) cells fold back to
         # exactly the same totals (zero counters carry no cells).
         assert stats.stall_cells_total() == {
             cat: c for cat, c in stats.stall_cycles.items() if c
-        }
-        for core, cats in stats.stall_by_core().items():
-            per_core_rows[f"{sched}/core{core}"] = {
-                cat.name: cycles for cat, cycles in sorted(cats.items())
-            }
+        }, sched
 
-    emit("fig04_stall_breakdown", format_breakdown(
-        rows, title="Fig 4: stall cycles by category (+ warp/instr)"))
-    emit("fig04_stall_attribution", format_breakdown(
-        per_core_rows,
-        title="Fig 4 (attribution): stall cycles per core"))
-
-    vm_stats = result.runs["hollywood"]["vertex_map"].stats
-    wm_stats = result.runs["hollywood"]["warp_map"].stats
+    vm_stats = stats_by_sched["vertex_map"]
+    wm_stats = stats_by_sched["warp_map"]
     assert vm_stats.stall_cycles.get(StallCat.SHARED, 0) == 0
     assert wm_stats.stall_cycles.get(StallCat.SHARED, 0) > 0
     assert vm_stats.stall_cycles.get(StallCat.MEMORY, 0) > 0

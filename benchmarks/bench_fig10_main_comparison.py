@@ -6,53 +6,21 @@ largest wins on BFS/SSSP (filters amplify imbalance) and the smallest
 on CC. Road-network graphs, which have nothing to balance, are the
 schemes' worst case.
 
-Iteration caps keep the simulation tractable; every scheme runs the
-same number of rounds so the comparison is apples-to-apples. The grid
-is submitted through the batch engine (``engine_opts``), so
-``REPRO_JOBS=4`` parallelizes it and ``REPRO_BENCH_CACHE`` makes
-re-runs warm — cycle counts are identical on every path.
+Thin wrapper over the ``fig10_*`` registry figures. The grids are
+submitted through the batch engine, so ``REPRO_JOBS=4`` parallelizes
+them and ``REPRO_BENCH_CACHE`` makes re-runs warm — cycle counts are
+identical on every path.
 """
 
 import pytest
-from conftest import run_once
 
-from repro.bench import format_series, geomean, run_schedule_comparison
-from repro.graph import dataset_names
-from repro.runtime import AlgorithmSpec
-
-SCHEDULES = ["vertex_map", "edge_map", "warp_map", "cta_map",
-             "sparseweaver"]
-
-ALGORITHMS = {
-    "pagerank": AlgorithmSpec.of("pagerank", iterations=2),
-    "bfs": AlgorithmSpec.of("bfs", source=0),
-    "sssp": AlgorithmSpec.of("sssp", source=0),
-    "cc": AlgorithmSpec.of("cc"),
-}
-ITER_CAPS = {"pagerank": 2, "bfs": 3, "sssp": 3, "cc": 3}
+ALGORITHMS = ["pagerank", "bfs", "sssp", "cc"]
 
 
-@pytest.mark.parametrize("alg_name", list(ALGORITHMS))
-def test_fig10_algorithm_grid(benchmark, emit, bench_datasets,
-                              bench_config, engine_opts, alg_name):
-    def run():
-        return run_schedule_comparison(
-            ALGORITHMS[alg_name], bench_datasets, SCHEDULES,
-            config=bench_config, max_iterations=ITER_CAPS[alg_name],
-            **engine_opts,
-        )
-
-    result = run_once(benchmark, run)
-    sp = result.speedups()
-    names = dataset_names()
-    gm = result.geomean_speedups()
-    series = {
-        s: [round(sp[g][s], 2) for g in names] + [round(gm[s], 2)]
-        for s in SCHEDULES
-    }
-    emit(f"fig10_{alg_name}", format_series(
-        "graph", names + ["geomean"], series,
-        title=f"Fig 10 ({alg_name}): speedup over S_vm"))
+@pytest.mark.parametrize("alg_name", ALGORITHMS)
+def test_fig10_algorithm_grid(run_figure_bench, alg_name):
+    out = run_figure_bench(f"fig10_{alg_name}")
+    gm = out.data["geomeans"]
 
     # Shape gates: SparseWeaver's geomean leads (small tolerance for
     # per-seed noise) and beats S_vm outright.

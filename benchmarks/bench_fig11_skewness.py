@@ -6,80 +6,21 @@ full-utilization single-core configuration. Paper shape:
 (a) the degree distribution widens and the edge-fraction tail lengthens
 from G1 to G6; (b) S_em and S_vm converge (S_em's speedup grows) as
 imbalance rises, and SparseWeaver tracks S_em's trend from above.
+
+Thin wrapper over the ``fig11a``/``fig11b`` registry figures.
 """
 
-from conftest import run_once
 
-from repro.algorithms import make_algorithm
-from repro.bench import format_series, run_single
-from repro.graph import powerlaw_family
-from repro.graph.metrics import degree_skewness, edge_fraction_by_degree
-from repro.sim import CacheConfig, GPUConfig
-from repro.sim.config import KB
-
-VERTEX_COUNTS = [200, 240, 320, 400, 800, 1600]  # scaled 10k..80k
-FIXED_EDGES = 19000                               # scaled 1.9M
-
-
-def _config() -> GPUConfig:
-    return GPUConfig(
-        num_sockets=1, cores_per_socket=1, warps_per_core=4,
-        l1=CacheConfig(4 * KB, ways=4),
-        l2=CacheConfig(32 * KB, hit_latency=20),
-    )
-
-
-def test_fig11a_degree_distributions(benchmark, emit):
-    family = powerlaw_family(VERTEX_COUNTS, FIXED_EDGES, exponent=2.1,
-                             seed=7)
-
-    def run():
-        rows = []
-        for i, g in enumerate(family):
-            degs, frac = edge_fraction_by_degree(g)
-            rows.append([
-                f"G{i + 1}", g.num_vertices, g.num_edges,
-                int(g.degrees.max()),
-                round(degree_skewness(g), 2),
-                round(float(frac[-5:].sum()), 3),
-            ])
-        return rows
-
-    rows = run_once(benchmark, run)
-    from repro.bench import format_table
-
-    emit("fig11a_degree_distribution", format_table(
-        ["graph", "|V|", "|E|", "max deg", "skewness", "tail edge frac"],
-        rows, title="Fig 11a: G1..G6 degree distributions"))
+def test_fig11a_degree_distributions(run_figure_bench):
+    out = run_figure_bench("fig11a")
+    rows = out.data["rows"]
     skews = [r[4] for r in rows]
     assert skews[-1] > skews[0]  # skewness rises across the family
 
 
-def test_fig11b_speedup_vs_skewness(benchmark, emit):
-    family = powerlaw_family(VERTEX_COUNTS, FIXED_EDGES, exponent=2.1,
-                             seed=7)
-    cfg = _config()
-
-    def run():
-        series = {"edge_map": [], "sparseweaver": []}
-        for g in family:
-            base = run_single(
-                make_algorithm("pagerank", iterations=1), g,
-                "vertex_map", config=cfg,
-            ).stats.total_cycles
-            for sched in series:
-                c = run_single(
-                    make_algorithm("pagerank", iterations=1), g, sched,
-                    config=cfg,
-                ).stats.total_cycles
-                series[sched].append(round(base / c, 2))
-        return series
-
-    series = run_once(benchmark, run)
-    labels = [f"G{i + 1}" for i in range(len(family))]
-    emit("fig11b_skewness_speedup", format_series(
-        "graph", labels, series,
-        title="Fig 11b: PR speedup over S_vm vs skewness"))
+def test_fig11b_speedup_vs_skewness(run_figure_bench):
+    out = run_figure_bench("fig11b")
+    series = out.data["series"]
     # SparseWeaver tracks S_em's trend from above, and both schemes
     # gain from G1 to G3 as skew rises.
     for em, sw in zip(series["edge_map"], series["sparseweaver"]):

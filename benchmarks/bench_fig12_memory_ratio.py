@@ -4,53 +4,26 @@ Paper shape: cycle counts grow close to linearly with the ratio (graph
 processing is memory-intensive), and SparseWeaver stays below S_vm and
 S_em at every ratio because balanced work needs fewer memory round
 trips.
+
+Thin wrapper over the ``fig12`` registry figure.
 """
 
-from conftest import run_once
 
-from dataclasses import replace
+def test_fig12_memory_ratio(run_figure_bench):
+    out = run_figure_bench("fig12")
+    series = out.data["series"]
+    ratios = out.data["ratios"]
 
-from repro.algorithms import make_algorithm
-from repro.bench import format_series, run_single
-from repro.graph import dataset
-
-RATIOS = [1, 2, 3, 4, 5, 6]
-SCHEDULES = ["vertex_map", "edge_map", "sparseweaver"]
-
-
-def test_fig12_memory_ratio(benchmark, emit, bench_config):
-    graph = dataset("graph500", scale=0.25)
-
-    def run():
-        series = {s: [] for s in SCHEDULES}
-        for ratio in RATIOS:
-            cfg = replace(bench_config, mem_freq_ratio=ratio)
-            for sched in SCHEDULES:
-                series[sched].append(run_single(
-                    make_algorithm("pagerank", iterations=2), graph,
-                    sched, config=cfg,
-                ).stats.total_cycles)
-        return series
-
-    series = run_once(benchmark, run)
-    base = series["vertex_map"][0]
-    normalized = {
-        s: [round(c / base, 2) for c in cs] for s, cs in series.items()
-    }
-    emit("fig12_memory_ratio", format_series(
-        "ratio", RATIOS, normalized,
-        title="Fig 12: cycles vs GPU:DRAM ratio (normalized to S_vm@1)"))
-
-    for sched in SCHEDULES:
-        cs = series[sched]
+    for sched, cs in series.items():
         assert all(a < b for a, b in zip(cs, cs[1:])), sched  # monotone
         growth = cs[-1] / cs[0]
         assert 2.0 < growth < 8.0, sched  # roughly linear in the ratio
-    for i, ratio in enumerate(RATIOS):
+    for i, ratio in enumerate(ratios):
         assert series["sparseweaver"][i] < series["vertex_map"][i]
         # S_em's doubled edge traffic hurts more as memory slows; at
         # ratio 1 the two are within noise of each other.
         if ratio >= 2:
             assert series["sparseweaver"][i] < series["edge_map"][i]
         else:
-            assert series["sparseweaver"][i] < 1.05 * series["edge_map"][i]
+            assert (series["sparseweaver"][i]
+                    < 1.05 * series["edge_map"][i])

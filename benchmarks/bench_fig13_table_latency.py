@@ -5,39 +5,13 @@ GPU pipeline"; one scan per table entry leaves the decoupled FSM scan
 and warp-level parallelism to hide even 160-cycle reads. The paper runs
 this sweep on a wider (8-core, 32-warp) machine than its main results
 precisely because warps are the hiding mechanism; we use 16 warps.
+
+Thin wrapper over the ``fig13`` registry figure.
 """
 
-from conftest import run_once
 
-from dataclasses import replace
-
-from repro.algorithms import make_algorithm
-from repro.bench import format_series, run_single
-from repro.graph import dataset
-
-LATENCIES = [10, 20, 40, 80, 160]
-
-
-def test_fig13_table_latency(benchmark, emit, bench_config):
-    graph = dataset("graph500", scale=0.25)
-    wide = replace(bench_config, warps_per_core=16)
-
-    def run():
-        cycles = []
-        for lat in LATENCIES:
-            cfg = replace(wide, weaver_table_latency=lat)
-            cycles.append(run_single(
-                make_algorithm("pagerank", iterations=2), graph,
-                "sparseweaver", config=cfg,
-            ).stats.total_cycles)
-        return cycles
-
-    cycles = run_once(benchmark, run)
-    emit("fig13_table_latency", format_series(
-        "table latency", LATENCIES,
-        {"sparseweaver": cycles,
-         "normalized": [round(c / cycles[0], 3) for c in cycles]},
-        title="Fig 13: cycles vs work-table read overhead"))
-
+def test_fig13_table_latency(run_figure_bench):
+    out = run_figure_bench("fig13")
+    cycles = out.data["cycles"]
     # Flatness: 16x latency costs < 25% more cycles.
     assert max(cycles) < 1.25 * min(cycles)

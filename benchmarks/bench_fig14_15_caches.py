@@ -5,93 +5,24 @@ impact. Fig. 15: sweeping L1 and L2 capacity also moves performance
 little. Both hold because the edge/property streams dwarf every cache
 level; cache capacities here are scaled with the dataset analogs to
 preserve that regime (DESIGN.md).
+
+Thin wrapper over the ``fig14``/``fig15`` registry figures.
 """
 
-from conftest import run_once
 
-from dataclasses import replace
-
-from repro.algorithms import make_algorithm
-from repro.bench import format_series, format_table, run_single
-from repro.graph import dataset
-from repro.sim import CacheConfig
-from repro.sim.config import KB
-
-SCHEDULES = ["vertex_map", "sparseweaver"]
-
-# Paper sweeps L1 {16,32,64}KB and L2 {0.25..8}MB; scaled ~16x down.
-L1_SIZES = [2 * KB, 4 * KB, 8 * KB]
-L2_SIZES = [8 * KB, 16 * KB, 32 * KB, 64 * KB, 128 * KB, 256 * KB]
-
-
-def test_fig14_l3_cache(benchmark, emit, bench_config):
-    graph = dataset("hollywood", scale=0.25)
-
-    def run():
-        out = {}
-        for sched in SCHEDULES:
-            base = run_single(
-                make_algorithm("pagerank", iterations=2), graph, sched,
-                config=bench_config,
-            ).stats.total_cycles
-            with_l3 = run_single(
-                make_algorithm("pagerank", iterations=2), graph, sched,
-                config=replace(
-                    bench_config,
-                    l3=CacheConfig(64 * KB, hit_latency=40),
-                ),
-            ).stats.total_cycles
-            out[sched] = (base, with_l3)
-        return out
-
-    results = run_once(benchmark, run)
-    rows = [
-        [sched, base, l3, round(base / l3, 3)]
-        for sched, (base, l3) in results.items()
-    ]
-    emit("fig14_l3_cache", format_table(
-        ["schedule", "L1&L2 cycles", "L1&L2&L3 cycles", "speedup"],
-        rows, title="Fig 14: effect of an L3 cache"))
-    for sched, (base, l3) in results.items():
+def test_fig14_l3_cache(run_figure_bench):
+    out = run_figure_bench("fig14")
+    for sched, (base, l3) in out.data["results"].items():
         assert abs(l3 - base) / base < 0.12, sched
 
 
-def test_fig15_cache_size_sweep(benchmark, emit, bench_config):
-    graphs = {
-        "D_hw": dataset("hollywood", scale=0.25),
-        "D_g500": dataset("graph500", scale=0.25),
-    }
-
-    def run():
-        out = {}
-        for gname, graph in graphs.items():
-            for l1 in L1_SIZES:
-                for l2 in L2_SIZES:
-                    cfg = replace(
-                        bench_config,
-                        l1=CacheConfig(l1, ways=4),
-                        l2=CacheConfig(l2, hit_latency=20),
-                    )
-                    out[(gname, l1, l2)] = run_single(
-                        make_algorithm("pagerank", iterations=1), graph,
-                        "sparseweaver", config=cfg,
-                    ).stats.total_cycles
-        return out
-
-    results = run_once(benchmark, run)
-    for gname in graphs:
-        series = {
-            f"L1={l1 // KB}KB": [
-                round(results[(gname, l1, l2)]
-                      / results[(gname, L1_SIZES[0], L2_SIZES[0])], 3)
-                for l2 in L2_SIZES
-            ]
-            for l1 in L1_SIZES
-        }
-        emit(f"fig15_cache_sweep_{gname}", format_series(
-            "L2 KB", [s // KB for s in L2_SIZES], series,
-            title=f"Fig 15 ({gname}): cycles normalized to smallest config"))
+def test_fig15_cache_size_sweep(run_figure_bench):
+    out = run_figure_bench("fig15")
+    results = out.data["results"]
+    l1_sizes = out.data["l1_sizes"]
+    l2_sizes = out.data["l2_sizes"]
+    for gname in out.data["graphs"]:
         values = [results[(gname, l1, l2)]
-                  for l1 in L1_SIZES for l2 in L2_SIZES]
+                  for l1 in l1_sizes for l2 in l2_sizes]
         # Capacity changes move performance by well under 2x.
         assert max(values) / min(values) < 1.6, gname

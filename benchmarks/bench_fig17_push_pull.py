@@ -4,40 +4,18 @@ Paper shape (on symmetric datasets): registration cycles are nearly
 identical between directions (<1% in the paper; we gate loosely), the
 edge-schedule + edge-info-access total is similar, and which direction
 wins the gather&sum stage varies by dataset.
+
+Thin wrapper over the ``fig17`` registry figure.
 """
 
-from conftest import run_once
-
-from repro.algorithms import make_algorithm
-from repro.bench import format_breakdown, run_single
-from repro.graph import dataset
-
-DATASETS = ["bio-human", "graph500", "web-uk", "web-wiki"]
+from repro.sim.instructions import Phase
 
 
-def test_fig17_push_pull_breakdown(benchmark, emit, bench_config):
-    graphs = {name: dataset(name, scale=0.25) for name in DATASETS}
+def test_fig17_push_pull_breakdown(run_figure_bench):
+    out = run_figure_bench("fig17")
+    results = out.data["stats"]
 
-    def run():
-        out = {}
-        for name, graph in graphs.items():
-            for direction in ("pull", "push"):
-                stats = run_single(
-                    make_algorithm("pagerank", iterations=2,
-                                   direction=direction),
-                    graph, "sparseweaver", config=bench_config,
-                ).stats
-                out[f"{name}/{direction}"] = stats
-        return out
-
-    results = run_once(benchmark, run)
-    emit("fig17_push_pull", format_breakdown(
-        {k: dict(v.phase_breakdown()) for k, v in results.items()},
-        title="Fig 17: push vs pull cycle breakdown (SparseWeaver, PR)"))
-
-    from repro.sim.instructions import Phase
-
-    for name in DATASETS:
+    for name in out.data["datasets"]:
         pull = results[f"{name}/pull"]
         push = results[f"{name}/push"]
         reg_pull = pull.phase_cycles[Phase.REGISTRATION]

@@ -4,51 +4,20 @@ Paper shape: SparseWeaver is 3.64x (geomean) faster than EGHW; the gap
 sits in the distribution stage (work-ID calculation, edge-information
 access, gather) because EGHW cannot hide its own serial memory reads
 and pays extra shared-memory traffic to stage edge records.
+
+Thin wrapper over the ``fig18`` registry figure.
 """
 
-from conftest import run_once
-
-from repro.algorithms import make_algorithm
-from repro.bench import format_breakdown, geomean, run_single
-from repro.graph import dataset, dataset_names
+from repro.sim.instructions import Phase
 
 
-def test_fig18_eghw_comparison(benchmark, emit, bench_config,
-                               bench_datasets):
-    def run():
-        out = {}
-        for name, graph in bench_datasets.items():
-            for sched in ("eghw", "sparseweaver"):
-                out[(name, sched)] = run_single(
-                    make_algorithm("pagerank", iterations=2), graph,
-                    sched, config=bench_config,
-                ).stats
-        return out
+def test_fig18_eghw_comparison(run_figure_bench):
+    out = run_figure_bench("fig18")
+    results = out.data["stats"]
+    names = out.data["names"]
 
-    results = run_once(benchmark, run)
-    names = dataset_names()
-    ratios = [
-        results[(n, "eghw")].total_cycles
-        / results[(n, "sparseweaver")].total_cycles
-        for n in names
-    ]
-    gm = geomean(ratios)
-
-    sample = {
-        f"{n}/{s}": dict(results[(n, s)].phase_breakdown())
-        for n in names[:3] for s in ("eghw", "sparseweaver")
-    }
-    text = format_breakdown(
-        sample, title="Fig 18: EGHW vs SparseWeaver cycle breakdown")
-    text += "\n\nEGHW/SparseWeaver cycle ratios: " + ", ".join(
-        f"{n}={r:.2f}" for n, r in zip(names, ratios)
-    ) + f"\ngeomean speedup of SparseWeaver over EGHW: {gm:.2f}x"
-    emit("fig18_eghw", text)
-
-    assert gm > 2.0  # paper: 3.64x
+    assert out.data["geomean"] > 2.0  # paper: 3.64x
     # EGHW's loss concentrates in the distribution stage.
-    from repro.sim.instructions import Phase
-
     for n in names[:3]:
         eghw = results[(n, "eghw")]
         sw = results[(n, "sparseweaver")]

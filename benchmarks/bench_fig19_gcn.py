@@ -5,54 +5,18 @@ GraphSum favors SparseWeaver (the degree-based coefficient is computed
 once per edge instead of once per edge per weight column); GraphSum
 dominates total time at small weight dims, so SparseWeaver wins overall
 there, with S_vm closing as the weight dimension grows.
+
+Thin wrapper over the ``fig19`` registry figure.
 """
 
-import numpy as np
-from conftest import run_once
-
-from repro.algorithms.gcn import gcn_reference, run_gcn_operator
-from repro.bench import format_series, geomean
-from repro.graph import dataset
-
-WEIGHT_DIMS = list(range(1, 17))
+from repro.bench import geomean
 
 
-def test_fig19_gcn_operators(benchmark, emit, bench_config):
-    graph = dataset("collab", scale=0.12)
-    rng = np.random.default_rng(11)
-    in_dim = 4
-    features = rng.normal(size=(graph.num_vertices, in_dim))
-
-    def run():
-        out = {}
-        for dims in WEIGHT_DIMS:
-            weight = rng.normal(size=(in_dim, dims))
-            ref = gcn_reference(graph, features, weight)
-            for strategy in ("vertex_map", "sparseweaver"):
-                res = run_gcn_operator(graph, features, weight,
-                                       strategy=strategy,
-                                       config=bench_config)
-                np.testing.assert_allclose(res.features, ref, atol=1e-9)
-                out[(dims, strategy)] = res
-        return out
-
-    results = run_once(benchmark, run)
-    speedups = [
-        results[(d, "vertex_map")].stats.total_cycles
-        / results[(d, "sparseweaver")].stats.total_cycles
-        for d in WEIGHT_DIMS
-    ]
-    graphsum_speedups = [
-        results[(d, "vertex_map")].kernel_stats["graphsum"].total_cycles
-        / results[(d, "sparseweaver")].kernel_stats["graphsum"].total_cycles
-        for d in WEIGHT_DIMS
-    ]
-    emit("fig19_gcn", format_series(
-        "weight dims", WEIGHT_DIMS,
-        {"total speedup": [round(s, 2) for s in speedups],
-         "graphsum speedup": [round(s, 2) for s in graphsum_speedups]},
-        title="Fig 19: GCN SparseWeaver speedup over weight-parallel "
-              "S_vm") + f"\ngeomean total speedup: {geomean(speedups):.2f}x")
+def test_fig19_gcn_operators(run_figure_bench):
+    out = run_figure_bench("fig19")
+    results = out.data["results"]
+    speedups = out.data["speedups"]
+    graphsum_speedups = out.data["graphsum_speedups"]
 
     # SpMM is identical under both strategies; GraphSum drives the win.
     spmm_vm = results[(4, "vertex_map")].kernel_stats["spmm"].instructions

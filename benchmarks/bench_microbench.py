@@ -6,141 +6,41 @@ issue). These do the same for our engine: each one isolates a model
 parameter and checks the measurement against the configured value, so
 any future change to the engine that breaks a first-principles
 relationship fails here before it distorts a paper figure.
+
+Thin wrappers over the ``micro_*`` registry figures.
 """
 
-import numpy as np
-from conftest import run_once
 
-from repro.bench import format_table
-from repro.sim import GPU, GPUConfig, MemoryMap
-from repro.sim.instructions import Phase, alu, load
-
-
-def one_warp_config():
-    return GPUConfig(
-        num_sockets=1, cores_per_socket=1, warps_per_core=1,
-        threads_per_warp=32,
-    )
-
-
-def test_micro_pointer_chase_latency(benchmark, emit):
+def test_micro_pointer_chase_latency(run_figure_bench):
     """Dependent single-line loads measure pure load-to-use latency."""
-    cfg = one_warp_config()
-    gpu = GPU(cfg)
-    mm = MemoryMap()
-    region = mm.alloc("chase", 65536, 8)
-    hops = 64
-
-    def factory(ctx):
-        def kernel():
-            for i in range(hops):
-                # stride past the L1 so every hop misses
-                yield load(Phase.GATHER, region,
-                           np.array([(i * 911) % 60000]))
-        return kernel()
-
-    def run():
-        return gpu.run_kernel(factory, flush_caches=True)
-
-    stats = run_once(benchmark, run)
-    per_hop = stats.total_cycles / hops
-    emit("micro_pointer_chase", format_table(
-        ["hops", "cycles", "cycles/hop", "configured DRAM latency"],
-        [[hops, stats.total_cycles, round(per_hop, 1),
-          cfg.dram_latency_cycles]],
-        title="Microbenchmark: dependent-load latency"))
+    out = run_figure_bench("micro_pointer_chase")
+    per_hop = out.data["per_hop"]
+    dram_latency = out.data["dram_latency"]
     # each hop pays roughly the DRAM latency (plus issue + queue noise)
-    assert cfg.dram_latency_cycles <= per_hop \
-        <= cfg.dram_latency_cycles * 1.5
+    assert dram_latency <= per_hop <= dram_latency * 1.5
 
 
-def test_micro_stream_bandwidth(benchmark, emit):
+def test_micro_stream_bandwidth(run_figure_bench):
     """Many independent warps streaming: throughput converges to the
     DRAM service rate, not the latency."""
-    cfg = GPUConfig(num_sockets=1, cores_per_socket=1,
-                    warps_per_core=16, threads_per_warp=32)
-    gpu = GPU(cfg)
-    mm = MemoryMap()
-    region = mm.alloc("stream", 1 << 20, 8)
-    loads_per_warp = 64
-
-    def factory(ctx):
-        def kernel():
-            base = ctx.warp_slot * loads_per_warp * 8
-            for i in range(loads_per_warp):
-                idx = (base + i * 8) * 16 % (1 << 19)
-                yield load(Phase.GATHER, region,
-                           np.arange(idx, idx + 8))
-        return kernel()
-
-    def run():
-        return gpu.run_kernel(factory, flush_caches=True)
-
-    stats = run_once(benchmark, run)
-    lines = stats.dram_accesses
-    cycles_per_line = stats.total_cycles / max(1, lines)
-    emit("micro_stream_bandwidth", format_table(
-        ["DRAM lines", "cycles", "cycles/line", "configured service"],
-        [[lines, stats.total_cycles, round(cycles_per_line, 2),
-          cfg.dram_service_cycles]],
-        title="Microbenchmark: streaming bandwidth"))
+    out = run_figure_bench("micro_stream_bandwidth")
+    cycles_per_line = out.data["cycles_per_line"]
     # throughput-bound: per-line cost approaches the service time,
     # far below the 100-cycle latency
-    assert cycles_per_line < cfg.dram_latency_cycles / 2
-    assert cycles_per_line >= cfg.dram_service_cycles * 0.9
+    assert cycles_per_line < out.data["dram_latency"] / 2
+    assert cycles_per_line >= out.data["dram_service"] * 0.9
 
 
-def test_micro_issue_throughput(benchmark, emit):
+def test_micro_issue_throughput(run_figure_bench):
     """Back-to-back ALU work: one instruction per cycle per core."""
-    cfg = one_warp_config()
-    gpu = GPU(cfg)
-    n = 2000
-
-    def factory(ctx):
-        def kernel():
-            for _ in range(n):
-                yield alu(Phase.GATHER)
-        return kernel()
-
-    def run():
-        return gpu.run_kernel(factory)
-
-    stats = run_once(benchmark, run)
-    emit("micro_issue_throughput", format_table(
-        ["instructions", "cycles", "IPC"],
-        [[n, stats.total_cycles,
-          round(n / stats.total_cycles, 3)]],
-        title="Microbenchmark: issue throughput"))
-    assert stats.total_cycles == n  # exactly 1 IPC
+    out = run_figure_bench("micro_issue_throughput")
+    assert out.data["cycles"] == out.data["instructions"]  # exactly 1 IPC
 
 
-def test_micro_latency_hiding_scaling(benchmark, emit):
+def test_micro_latency_hiding_scaling(run_figure_bench):
     """The Fig. 12/13 mechanism in isolation: more resident warps hide
     more of a fixed memory latency."""
-    rows = []
-    for warps in (1, 2, 4, 8, 16):
-        cfg = GPUConfig(num_sockets=1, cores_per_socket=1,
-                        warps_per_core=warps, threads_per_warp=32)
-        gpu = GPU(cfg)
-        mm = MemoryMap()
-        region = mm.alloc("lat", 1 << 20, 8)
-
-        def factory(ctx, region=region):
-            def kernel():
-                for i in range(16):
-                    idx = (ctx.warp_slot * 7919 + i * 977) % (1 << 17)
-                    yield load(Phase.GATHER, region, np.array([idx]))
-                    yield alu(Phase.GATHER, 4)
-            return kernel()
-
-        def run(gpu=gpu, factory=factory):
-            return gpu.run_kernel(factory, flush_caches=True)
-
-        stats = run_once(benchmark, run) if warps == 1 else run()
-        per_op = stats.total_cycles / (16 * warps)
-        rows.append([warps, stats.total_cycles, round(per_op, 1)])
-    emit("micro_latency_hiding", format_table(
-        ["warps", "cycles", "cycles per load+alu"],
-        rows, title="Microbenchmark: warp-level latency hiding"))
+    out = run_figure_bench("micro_latency_hiding")
+    rows = out.data["rows"]
     # effective per-operation cost falls as warps grow
     assert rows[-1][2] < rows[0][2] / 2

@@ -5,40 +5,15 @@ this benchmark re-checks the central claim on the full Section V
 machine — 2 sockets x 3 cores, 32 warps/core, 32 threads/warp, 64KB L1
 (32KB with the Weaver penalty), 1MB L2 — to show the shape is not an
 artifact of the small preset.
+
+Thin wrapper over the ``paper_config`` registry figure.
 """
 
-from conftest import run_once
 
-from repro.algorithms import make_algorithm
-from repro.bench import format_table, run_single
-from repro.graph import dataset
-from repro.sim import GPUConfig
-
-SCHEDULES = ["vertex_map", "edge_map", "cta_map", "sparseweaver"]
-
-
-def test_paper_config_headline(benchmark, emit):
-    graph = dataset("hollywood", scale=0.4)
-    config = GPUConfig.vortex_paper()
-
-    def run():
-        return {
-            sched: run_single(
-                make_algorithm("pagerank", iterations=2), graph, sched,
-                config=config,
-            ).stats.total_cycles
-            for sched in SCHEDULES
-        }
-
-    cycles = run_once(benchmark, run)
-    base = cycles["vertex_map"]
-    emit("paper_config_headline", format_table(
-        ["schedule", "cycles", "speedup over S_vm"],
-        [[s, cycles[s], round(base / cycles[s], 2)] for s in SCHEDULES],
-        title="PR on hollywood analog, paper Vortex config "
-              "(2x3 cores, 32 warps, 32 threads)"))
-
+def test_paper_config_headline(run_figure_bench):
+    out = run_figure_bench("paper_config")
+    cycles = out.data["cycles"]
     assert cycles["sparseweaver"] < cycles["vertex_map"]
     assert cycles["sparseweaver"] < cycles["edge_map"]
     assert cycles["sparseweaver"] < cycles["cta_map"]
-    assert base / cycles["sparseweaver"] > 1.5
+    assert cycles["vertex_map"] / cycles["sparseweaver"] > 1.5

@@ -5,40 +5,14 @@ over naive vertex mapping — should not be an artifact of one dataset
 size. This benchmark re-measures it at three analog scales; the claim
 holds if the geomean stays solidly above 1.5x at every scale and does
 not swing wildly between adjacent scales.
+
+Thin wrapper over the ``robustness`` registry figure.
 """
 
-from conftest import run_once
 
-from repro.algorithms import make_algorithm
-from repro.bench import format_series, run_schedule_comparison
-from repro.graph import dataset, dataset_names
-
-SCALES = [0.15, 0.25, 0.4]
-SCHEDULES = ["vertex_map", "sparseweaver"]
-
-
-def test_headline_stable_across_scales(benchmark, emit, bench_config):
-    def run():
-        geomeans = []
-        for scale in SCALES:
-            graphs = {name: dataset(name, scale=scale)
-                      for name in dataset_names()}
-            result = run_schedule_comparison(
-                lambda: make_algorithm("pagerank", iterations=2),
-                graphs, SCHEDULES, config=bench_config,
-                max_iterations=2,
-            )
-            geomeans.append(
-                result.geomean_speedups()["sparseweaver"]
-            )
-        return geomeans
-
-    geomeans = run_once(benchmark, run)
-    emit("robustness_scales", format_series(
-        "analog scale", SCALES,
-        {"SW geomean speedup": [round(g, 2) for g in geomeans]},
-        title="Robustness: PR headline vs dataset analog scale"))
-
+def test_headline_stable_across_scales(run_figure_bench):
+    out = run_figure_bench("robustness")
+    geomeans = out.data["geomeans"]
     for g in geomeans:
         assert g > 1.5
     for a, b in zip(geomeans, geomeans[1:]):

@@ -8,80 +8,19 @@ schedules).  Three passes over the identical grid:
 * ``parallel`` — ``jobs=4``, cold cache;
 * ``warm``     — ``jobs=4`` again, now fully memoized: the telemetry
   summary must show zero simulations.
+
+Thin wrapper over the ``runtime_engine`` registry figure (which drives
+its own engines — it is measuring them).
 """
 
-import tempfile
-import time
 
-from conftest import BENCH_SCALE, run_once
-
-from repro.bench import format_table
-from repro.graph import dataset_names
-from repro.runtime import (AlgorithmSpec, BatchEngine, GraphSpec, JobSpec,
-                           ResultCache, Telemetry)
-from repro.sched import ALL_SCHEDULES
-
-
-def _grid_specs(bench_config):
-    algorithm = AlgorithmSpec.of("pagerank", iterations=2)
-    return [
-        JobSpec(
-            algorithm=algorithm,
-            graph=GraphSpec.from_dataset(name, scale=BENCH_SCALE),
-            schedule=sched,
-            config=bench_config,
-            max_iterations=2,
-        )
-        for name in dataset_names()
-        for sched in ALL_SCHEDULES
-    ]
-
-
-def test_runtime_engine_throughput(benchmark, emit, bench_config):
-    specs = _grid_specs(bench_config)
-    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
-
-    def run():
-        rows = []
-        telemetries = {}
-
-        start = time.perf_counter()
-        serial = BatchEngine(jobs=1).run(specs)
-        rows.append(["serial (jobs=1)", len(specs),
-                     round(time.perf_counter() - start, 3)])
-
-        cache = ResultCache(cache_dir)
-        telemetries["parallel"] = Telemetry()
-        start = time.perf_counter()
-        parallel = BatchEngine(jobs=4, cache=cache,
-                               telemetry=telemetries["parallel"]).run(specs)
-        rows.append(["parallel (jobs=4)", len(specs),
-                     round(time.perf_counter() - start, 3)])
-
-        telemetries["warm"] = Telemetry()
-        start = time.perf_counter()
-        warm = BatchEngine(jobs=4, cache=cache,
-                           telemetry=telemetries["warm"]).run(specs)
-        rows.append(["warm cache", len(specs),
-                     round(time.perf_counter() - start, 3)])
-
-        cycles = {
-            "serial": [o.summary.total_cycles for o in serial],
-            "parallel": [o.summary.total_cycles for o in parallel],
-            "warm": [o.summary.total_cycles for o in warm],
-        }
-        return rows, cycles, telemetries, cache
-
-    (rows, cycles, telemetries, cache) = run_once(benchmark, run)
-    emit("runtime_engine", format_table(
-        ["pass", "jobs in grid", "wall sec"], rows,
-        title="Runtime engine: PageRank x 9 datasets x 5 schedules")
-        + "\n" + telemetries["warm"].format_summary(cache))
+def test_runtime_engine_throughput(run_figure_bench):
+    out = run_figure_bench("runtime_engine")
+    cycles = out.data["cycles"]
 
     # Parallel and cached passes must be cycle-identical to serial.
     assert cycles["parallel"] == cycles["serial"]
     assert cycles["warm"] == cycles["serial"]
     # The warm pass must not have simulated anything.
-    assert telemetries["warm"].count("started") == 0
-    assert telemetries["warm"].count("cached") == len(_grid_specs(
-        bench_config))
+    assert out.data["warm_started"] == 0
+    assert out.data["warm_cached"] == out.data["grid_size"]

@@ -4,25 +4,13 @@ Regenerates the paper's qualitative/arithmetic matrix for a concrete
 graph and the paper's Vortex configuration. Paper shape: SparseWeaver is
 the only block-granularity scheme with low complexity in both stages and
 zero binary searches/atomics/syncs during distribution.
+
+Thin wrapper over the ``table1`` registry figure.
 """
 
-from conftest import run_once
 
-from repro.graph import dataset
-from repro.sched import analytic
-from repro.sim import GPUConfig
-
-
-def test_table1_scheme_characteristics(benchmark, emit):
-    graph = dataset("graph500", scale=0.25)
-    config = GPUConfig.vortex_paper()
-
-    def run():
-        return analytic.characteristics_table(graph, config)
-
-    table = run_once(benchmark, run)
-    emit("table1_schemes", table)
-
-    rows = {r.name: r for r in analytic.scheme_characteristics(graph, config)}
+def test_table1_scheme_characteristics(run_figure_bench):
+    out = run_figure_bench("table1")
+    rows = out.data["rows"]
     assert rows["SparseWeaver"].distribution_costs == "0, 0, 0"
-    assert rows["S_em"].edge_mem_access == 2 * graph.num_edges
+    assert rows["S_em"].edge_mem_access == 2 * out.data["graph_edges"]

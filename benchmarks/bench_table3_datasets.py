@@ -3,41 +3,14 @@
 Shape checks: the analogs preserve each family's |E|/|V| regime and
 skew direction (bio = dense + skewed, road = sparse + flat, power-law =
 skewed).
+
+Thin wrapper over the ``table3`` registry figure.
 """
 
-from conftest import BENCH_SCALE, run_once
 
-from repro.bench import format_table
-from repro.graph import dataset_names
-from repro.graph.datasets import dataset_spec
-from repro.graph.metrics import average_degree, degree_skewness
-
-
-def test_table3_dataset_inventory(benchmark, emit, bench_datasets):
-    def run():
-        rows = []
-        for name in dataset_names():
-            spec = dataset_spec(name)
-            g = bench_datasets[name]
-            rows.append([
-                spec.paper_name,
-                spec.paper_vertices,
-                spec.paper_edges,
-                g.num_vertices,
-                g.num_edges,
-                round(average_degree(g), 1),
-                round(degree_skewness(g), 2),
-            ])
-        return rows
-
-    rows = run_once(benchmark, run)
-    emit("table3_datasets", format_table(
-        ["Graph (paper)", "|V| paper", "|E| paper",
-         f"|V| analog (x{BENCH_SCALE})", "|E| analog", "avg deg",
-         "skewness"],
-        rows, title="Table III: datasets (paper scale vs analog)"))
-
-    by_name = {r[0]: r for r in rows}
+def test_table3_dataset_inventory(run_figure_bench):
+    out = run_figure_bench("table3")
+    by_name = {r[0]: r for r in out.data["rows"]}
     bio = by_name["bio-human-gene1 (D_bh)"]
     road = by_name["roadNet-CA (D_rn)"]
     holly = by_name["hollywood-2011 (D_hw)"]

@@ -4,46 +4,20 @@ The analytic model is anchored to the paper's synthesis numbers
 (DESIGN.md): 678 dedicated registers (0.045%) and +2.96% ALMs for one
 core, +2.01% for sixteen, zero block-memory/RAM/DSP increase, and a
 0.136% SystemVerilog line-count increase.
+
+Thin wrapper over the ``table4``/``fig16`` registry figures.
 """
 
-from conftest import run_once
 
-from repro.bench import format_table
-from repro.core import WeaverAreaModel
-
-
-def test_table4_area_overhead(benchmark, emit):
-    model = WeaverAreaModel()
-
-    def run():
-        return model.table_rows((1, 16))
-
-    rows = run_once(benchmark, run)
-    emit("table4_area", format_table(
-        ["cores", "base ALMs", "w/ SparseWeaver", "ALM +%", "regs added",
-         "reg +%", "blockmem +%", "RAM +%", "DSP +%"],
-        [[r.num_cores, r.base_alms, r.sparseweaver_alms,
-          round(r.alm_pct_increase, 2), r.registers_added,
-          round(r.register_pct_increase, 3),
-          r.block_memory_pct_increase, r.ram_pct_increase,
-          r.dsp_pct_increase] for r in rows],
-        title="Table IV: FPGA area overhead"))
-
-    one, sixteen = rows
+def test_table4_area_overhead(run_figure_bench):
+    out = run_figure_bench("table4")
+    one, sixteen = out.data["rows"]
     assert one.sparseweaver_alms == 108_203
     assert sixteen.sparseweaver_alms == 591_971
     assert one.registers_added == 678
     assert one.block_memory_pct_increase == 0.0
 
 
-def test_fig16_utilization_summary(benchmark, emit):
-    model = WeaverAreaModel()
-
-    def run():
-        return "\n".join(
-            model.utilization_summary(n) for n in (1, 16)
-        ) + f"\nRTL lines added: +{model.rtl_line_overhead():.3f}%"
-
-    text = run_once(benchmark, run)
-    emit("fig16_utilization", text)
-    assert "0% block memory" in text
+def test_fig16_utilization_summary(run_figure_bench):
+    out = run_figure_bench("fig16")
+    assert "0% block memory" in out.data["text"]

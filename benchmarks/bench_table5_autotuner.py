@@ -4,54 +4,14 @@ Paper shape: the tuner finds a software schedule 1.5-2.2x faster than
 S_vm but pays minutes of tuning; SparseWeaver beats S_vm by more
 (1.8-5.3x on the Vortex rows) with zero tuning. Our "tuning time" is
 the summed simulated cycles of all trials plus measured host seconds.
+
+Thin wrapper over the ``table5`` registry figure.
 """
 
-from conftest import run_once
 
-from repro.algorithms import make_algorithm
-from repro.autotune import AutoTuner
-from repro.bench import format_table, run_single
-from repro.graph import dataset
-
-DATASETS = ["hollywood", "web-uk", "collab", "road-ca"]
-
-
-def test_table5_autotuner_vs_sparseweaver(benchmark, emit, bench_config):
-    graphs = {name: dataset(name, scale=0.25) for name in DATASETS}
-
-    def run():
-        rows = []
-        for name, graph in graphs.items():
-            tuner = AutoTuner(
-                lambda: make_algorithm("pagerank", iterations=2),
-                config=bench_config,
-            )
-            report = tuner.tune(graph)
-            sw = run_single(
-                make_algorithm("pagerank", iterations=2), graph,
-                "sparseweaver", config=bench_config,
-            ).stats.total_cycles
-            rows.append([
-                name,
-                report.tuning_cycles,
-                round(report.tuning_wall_seconds, 2),
-                report.baseline_cycles,
-                report.best_cycles,
-                report.best_schedule,
-                round(report.best_speedup, 2),
-                sw,
-                round(report.baseline_cycles / sw, 2),
-            ])
-        return rows
-
-    rows = run_once(benchmark, run)
-    emit("table5_autotuner", format_table(
-        ["graph", "tuning cycles", "tuning sec", "S_vm cycles",
-         "best cycles", "best schedule", "tuner speedup", "SW cycles",
-         "SW speedup"],
-        rows, title="Table V: auto-tuner vs SparseWeaver (PR)"))
-
-    for row in rows:
+def test_table5_autotuner_vs_sparseweaver(run_figure_bench):
+    out = run_figure_bench("table5")
+    for row in out.data["rows"]:
         name, tuning_cycles = row[0], row[1]
         sw_speedup, tuner_speedup = row[8], row[6]
         # SparseWeaver needs no tuning bill...

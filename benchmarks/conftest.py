@@ -80,3 +80,39 @@ def emit():
 def run_once(benchmark, fn):
     """Run the experiment exactly once under pytest-benchmark."""
     return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture(scope="session")
+def figure_ctx():
+    """Figure-registry context at the classic benchmark scale.
+
+    At the default ``BENCH_SCALE`` every figure's grid is bit-identical
+    to the pre-registry benchmark scripts (``rescale`` is the
+    identity), so porting the suite onto the registry changed no cycle
+    count.
+    """
+    from repro.figures import FigureContext
+
+    return FigureContext(scale=BENCH_SCALE)
+
+
+@pytest.fixture
+def run_figure_bench(benchmark, figure_ctx, engine_opts, emit):
+    """Run one registered figure through the engine, exactly once.
+
+    Emits every artifact block the figure produces (same
+    ``benchmarks/results/<name>.txt`` files as always) and returns the
+    :class:`~repro.figures.registry.FigureOutput` whose ``data`` the
+    shape gates assert on.
+    """
+    from repro.figures import run_figure
+
+    def _run(name: str):
+        out = run_once(
+            benchmark,
+            lambda: run_figure(name, figure_ctx, **engine_opts))
+        for block_name, text in out.blocks.items():
+            emit(block_name, text)
+        return out
+
+    return _run

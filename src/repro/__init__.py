@@ -25,6 +25,7 @@ Layers (see DESIGN.md for the full inventory):
 * :mod:`repro.autotune` — the auto-tuner baseline of Table V.
 * :mod:`repro.bench` — experiment runner and report formatting.
 * :mod:`repro.runtime` — parallel batch engine, result cache, telemetry.
+* :mod:`repro.figures` — the paper-figure registry and engine driver.
 """
 
 from repro.errors import (
@@ -56,6 +57,16 @@ from repro.runtime import (
     JobSpec,
     ResultCache,
     Telemetry,
+)
+from repro.bench import run_schedule_comparison, run_single
+from repro.figures import (
+    Figure,
+    FigureContext,
+    FigureOutput,
+    figure_names,
+    list_figures,
+    run_figure,
+    run_figures,
 )
 
 __version__ = "1.0.0"
@@ -95,5 +106,14 @@ __all__ = [
     "JobSpec",
     "ResultCache",
     "Telemetry",
+    "run_single",
+    "run_schedule_comparison",
+    "Figure",
+    "FigureContext",
+    "FigureOutput",
+    "figure_names",
+    "list_figures",
+    "run_figure",
+    "run_figures",
     "__version__",
 ]

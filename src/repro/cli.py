@@ -4,6 +4,7 @@ Commands
 --------
 ``run``       one (algorithm, dataset, schedule) simulation with stats
 ``compare``   every schedule on one workload, speedups over S_vm
+``bench``     regenerate paper figures via the figure registry + engine
 ``datasets``  the Table III analog inventory
 ``area``      the Table IV area model
 ``weaver``    replay the Fig. 6 FSM example
@@ -61,6 +62,37 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--iterations", type=int, default=2)
     cmp_p.add_argument("--extended", action="store_true",
                        help="include every implemented schedule")
+
+    bench_p = sub.add_parser(
+        "bench",
+        help="regenerate paper figures through the figure registry "
+             "and the batch engine (parallel + incremental)")
+    bench_p.add_argument("--figures", default=None,
+                         help="comma-separated figure names or prefixes "
+                              "(e.g. fig10,fig11,ablation); default: "
+                              "every registered figure")
+    bench_p.add_argument("--list", action="store_true",
+                         dest="list_figures",
+                         help="list registered figures and exit")
+    bench_p.add_argument("--smoke", action="store_true",
+                         help="tiny-scale trimmed sweeps (CI health "
+                              "check; outputs are not paper shapes)")
+    bench_p.add_argument("--scale", type=float, default=None,
+                         help="dataset analog scale (default: 0.25, "
+                              "the benchmark scale)")
+    bench_p.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: REPRO_JOBS "
+                              "or 1)")
+    bench_p.add_argument("--out", default=None, metavar="DIR",
+                         help="artifact directory (default: "
+                              "benchmarks/results)")
+    bench_p.add_argument("--cache-dir", default=None,
+                         help="result cache directory (default: "
+                              "REPRO_CACHE_DIR or ~/.cache/repro)")
+    bench_p.add_argument("--no-cache", action="store_true",
+                         help="disable the result cache for this run")
+    bench_p.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="append run events to this JSONL file")
 
     sub.add_parser("datasets", help="Table III analog inventory")
 
@@ -209,6 +241,58 @@ def _cmd_compare(args) -> int:
     print(format_table(
         ["schedule", "cycles", "speedup over S_vm"], rows,
         title=f"{args.algorithm} on {args.dataset} ({graph})"))
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    import time
+    from pathlib import Path
+
+    from repro.figures import (FigureContext, list_figures,
+                               resolve_figures, run_figures)
+    from repro.runtime import ResultCache, Telemetry
+
+    if args.list_figures:
+        rows = [[fig.name, fig.paper, fig.title]
+                for fig in list_figures()]
+        print(format_table(["figure", "paper", "title"], rows,
+                           title=f"{len(rows)} registered figures"))
+        return 0
+
+    patterns = ([p.strip() for p in args.figures.split(",") if p.strip()]
+                if args.figures else None)
+    figures = (resolve_figures(patterns) if patterns
+               else list_figures())
+    if args.smoke:
+        ctx = FigureContext.smoke_context(
+            scale=args.scale) if args.scale else \
+            FigureContext.smoke_context()
+    else:
+        ctx = (FigureContext(scale=args.scale) if args.scale
+               else FigureContext())
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    telemetry = Telemetry(args.telemetry)
+    start = time.perf_counter()
+    outputs = run_figures(figures, ctx, jobs=args.jobs, cache=cache,
+                          telemetry=telemetry)
+    elapsed = time.perf_counter() - start
+
+    out_dir = Path(args.out) if args.out else (
+        Path(__file__).resolve().parents[2] / "benchmarks" / "results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    rows = []
+    for name in sorted(outputs):
+        out = outputs[name]
+        for block_name, text in out.blocks.items():
+            (out_dir / f"{block_name}.txt").write_text(text + "\n")
+        rows.append([name, len(out.blocks),
+                     ", ".join(sorted(out.blocks))])
+    print(format_table(
+        ["figure", "blocks", "artifacts"], rows,
+        title=f"{len(outputs)} figure(s) in {elapsed:.1f}s -> "
+              f"{out_dir}"))
+    print(telemetry.format_summary(cache))
     return 0
 
 
@@ -424,6 +508,7 @@ def _cmd_report(args) -> int:
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
+    "bench": _cmd_bench,
     "datasets": _cmd_datasets,
     "area": _cmd_area,
     "weaver": _cmd_weaver,

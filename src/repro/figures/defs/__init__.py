@@ -1,0 +1,16 @@
+"""Figure definitions — importing this package registers every figure.
+
+Each module mirrors one ``benchmarks/bench_*.py`` family; the pytest
+modules are thin wrappers that run these figures through the engine.
+"""
+
+from repro.figures.defs import (  # noqa: F401
+    ablations,
+    fig02_03_04,
+    fig10,
+    fig17_18_19,
+    microbench,
+    misc,
+    sensitivity,
+    tables,
+)

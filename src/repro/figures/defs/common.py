@@ -1,0 +1,78 @@
+"""Shared grid-building helpers for figure definitions."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.runner import ExperimentResult
+from repro.figures.driver import ResultSet
+from repro.figures.registry import FigureContext
+from repro.graph import dataset_names
+from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
+from repro.sim.config import GPUConfig
+
+#: (graph name, schedule) cell key used by grid figures.
+Cell = Tuple[str, str]
+
+
+def bench_graph_specs(
+    ctx: FigureContext,
+    names: Optional[Sequence[str]] = None,
+    scale: float = 0.25,
+    smoke_count: int = 3,
+) -> Dict[str, GraphSpec]:
+    """Dataset-analog graph specs at the context's scale.
+
+    ``scale`` is the figure's literal scale at the default context
+    (most figures use the benchmark's 0.25); smoke runs trim the
+    dataset list to ``smoke_count`` entries.
+    """
+    names = list(names) if names is not None else dataset_names()
+    names = ctx.trim(names, smoke_count)
+    return {name: GraphSpec.from_dataset(name, scale=ctx.rescale(scale))
+            for name in names}
+
+
+def grid(
+    algorithm: AlgorithmSpec,
+    graphs: Dict[str, GraphSpec],
+    schedules: Sequence[str],
+    config: Optional[GPUConfig] = None,
+    max_iterations: Optional[int] = None,
+    symmetrize: bool = False,
+) -> Dict[Cell, JobSpec]:
+    """The Fig. 10-shaped grid: every schedule on every graph."""
+    cells: Dict[Cell, JobSpec] = {}
+    for graph_name, graph_spec in graphs.items():
+        for sched in schedules:
+            cells[(graph_name, sched)] = JobSpec(
+                algorithm=algorithm,
+                graph=graph_spec,
+                schedule=sched,
+                config=config,
+                max_iterations=max_iterations,
+                symmetrize=symmetrize,
+            )
+    return cells
+
+
+def experiment_result(
+    results: ResultSet, cells: Dict[Cell, JobSpec],
+) -> ExperimentResult:
+    """Fold grid cells back into an :class:`ExperimentResult` (same
+    ``cycles``/``runs`` layout the serial runner produced)."""
+    out = ExperimentResult()
+    for (graph_name, sched), spec in cells.items():
+        summary = results.summary(spec)
+        out.cycles.setdefault(graph_name, {})[sched] = (
+            summary.total_cycles)
+        out.runs.setdefault(graph_name, {})[sched] = summary
+    return out
+
+
+def graph_names(cells: Dict[Cell, JobSpec]) -> List[str]:
+    """Graph names of a grid, in insertion (declaration) order."""
+    seen: Dict[str, None] = {}
+    for graph_name, _sched in cells:
+        seen.setdefault(graph_name)
+    return list(seen)

@@ -1,0 +1,230 @@
+"""Repro-specific figures: paper-config headline, robustness,
+extended ranking, runtime-engine throughput."""
+
+from __future__ import annotations
+
+from repro.bench import (format_bar_chart, format_series, format_table,
+                         geomean)
+from repro.figures.defs.common import bench_graph_specs
+from repro.figures.registry import Figure, register
+from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
+from repro.sim import GPUConfig
+
+_PAGERANK2 = AlgorithmSpec.of("pagerank", iterations=2)
+
+
+@register
+class PaperConfig(Figure):
+    """Headline result at the paper's literal Vortex configuration."""
+
+    name = "paper_config"
+    paper = "Section V"
+    title = "PR headline on the full paper Vortex machine"
+
+    SCHEDULES = ["vertex_map", "edge_map", "cta_map", "sparseweaver"]
+
+    def _cells(self, ctx):
+        graph = GraphSpec.from_dataset("hollywood",
+                                       scale=ctx.rescale(0.4))
+        return {
+            sched: JobSpec(algorithm=_PAGERANK2, graph=graph,
+                           schedule=sched,
+                           config=GPUConfig.vortex_paper())
+            for sched in self.SCHEDULES
+        }
+
+    def build_jobs(self, ctx):
+        return list(self._cells(ctx).values())
+
+    def summarize(self, ctx, results):
+        cells = self._cells(ctx)
+        cycles = {s: results.cycles(spec)
+                  for s, spec in cells.items()}
+        base = cycles["vertex_map"]
+        block = format_table(
+            ["schedule", "cycles", "speedup over S_vm"],
+            [[s, cycles[s], round(base / cycles[s], 2)]
+             for s in self.SCHEDULES],
+            title="PR on hollywood analog, paper Vortex config "
+                  "(2x3 cores, 32 warps, 32 threads)")
+        return self.output({"paper_config_headline": block},
+                           cycles=cycles)
+
+
+@register
+class Robustness(Figure):
+    """The headline geomean re-measured across analog scales."""
+
+    name = "robustness"
+    paper = "repro"
+    title = "PR headline vs dataset analog scale"
+
+    SCALES = [0.15, 0.25, 0.4]
+    SCHEDULES = ["vertex_map", "sparseweaver"]
+
+    def _scales(self, ctx):
+        return ctx.trim(self.SCALES, 2)
+
+    def _cells(self, ctx):
+        cells = {}
+        for scale in self._scales(ctx):
+            graphs = bench_graph_specs(ctx, scale=scale)
+            for name, spec in graphs.items():
+                for sched in self.SCHEDULES:
+                    cells[(scale, name, sched)] = JobSpec(
+                        algorithm=_PAGERANK2, graph=spec,
+                        schedule=sched, config=ctx.gpu_config(),
+                        max_iterations=2)
+        return cells
+
+    def build_jobs(self, ctx):
+        return list(self._cells(ctx).values())
+
+    def summarize(self, ctx, results):
+        cells = self._cells(ctx)
+        scales = self._scales(ctx)
+        names = []
+        for (_scale, name, _sched) in cells:
+            if name not in names:
+                names.append(name)
+        geomeans = []
+        for scale in scales:
+            ratios = [
+                results.cycles(cells[(scale, n, "vertex_map")])
+                / results.cycles(cells[(scale, n, "sparseweaver")])
+                for n in names
+            ]
+            geomeans.append(geomean(ratios))
+        block = format_series(
+            "analog scale", scales,
+            {"SW geomean speedup": [round(g, 2) for g in geomeans]},
+            title="Robustness: PR headline vs dataset analog scale")
+        return self.output({"robustness_scales": block},
+                           geomeans=geomeans, scales=scales)
+
+
+@register
+class ExtendedRanking(Figure):
+    """Every implemented schedule ranked on a skewed and a flat graph."""
+
+    name = "extended_ranking"
+    paper = "Table I (extended)"
+    title = "Extended scheme ranking (PR, hollywood + road-ca)"
+
+    GRAPHS = ["hollywood", "road-ca"]
+
+    def _schedules(self, ctx):
+        from repro.sched import EXTENDED_SCHEDULES
+
+        if ctx.smoke:
+            return ["vertex_map", "sparseweaver", "hybrid_ell"]
+        return list(EXTENDED_SCHEDULES)
+
+    def _cells(self, ctx):
+        schedules = self._schedules(ctx)
+        cells = {}
+        for gname in self.GRAPHS:
+            graph = GraphSpec.from_dataset(gname,
+                                           scale=ctx.rescale(0.25))
+            for sched in schedules:
+                cells[(gname, sched)] = JobSpec(
+                    algorithm=_PAGERANK2, graph=graph, schedule=sched,
+                    config=ctx.gpu_config())
+        return cells
+
+    def build_jobs(self, ctx):
+        return list(self._cells(ctx).values())
+
+    def summarize(self, ctx, results):
+        schedules = self._schedules(ctx)
+        cells = self._cells(ctx)
+        cycles = {key: results.cycles(spec)
+                  for key, spec in cells.items()}
+        blocks = {}
+        for gname in self.GRAPHS:
+            base = cycles[(gname, "vertex_map")]
+            rows = sorted(
+                ([s, cycles[(gname, s)],
+                  round(base / cycles[(gname, s)], 2)]
+                 for s in schedules),
+                key=lambda r: r[1],
+            )
+            table = format_table(
+                ["schedule", "cycles", "speedup over S_vm"], rows,
+                title=f"Extended ranking (PR, {gname})")
+            chart = format_bar_chart(
+                {r[0]: r[1] for r in rows}, width=36, unit=" cycles")
+            blocks[f"extended_ranking_{gname}"] = (table + "\n\n"
+                                                   + chart)
+        return self.output(blocks, cycles=cycles, schedules=schedules)
+
+
+@register
+class RuntimeEngine(Figure):
+    """Serial vs parallel vs warm-cache wall time of the engine itself.
+
+    Local-compute by design: the figure measures BatchEngine, so it
+    drives its own engines rather than riding the driver's.
+    """
+
+    name = "runtime_engine"
+    paper = "repro"
+    title = "Runtime engine throughput (serial/parallel/warm)"
+
+    def _grid_specs(self, ctx):
+        from repro.sched import ALL_SCHEDULES
+
+        graphs = bench_graph_specs(ctx)
+        return [
+            JobSpec(algorithm=_PAGERANK2, graph=spec, schedule=sched,
+                    config=ctx.gpu_config(), max_iterations=2)
+            for spec in graphs.values()
+            for sched in ALL_SCHEDULES
+        ]
+
+    def summarize(self, ctx, results):
+        import tempfile
+        import time
+
+        from repro.runtime import BatchEngine, ResultCache, Telemetry
+
+        specs = self._grid_specs(ctx)
+        cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+
+        rows = []
+        start = time.perf_counter()
+        serial = BatchEngine(jobs=1).run(specs)
+        rows.append(["serial (jobs=1)", len(specs),
+                     round(time.perf_counter() - start, 3)])
+
+        cache = ResultCache(cache_dir)
+        par_tel = Telemetry()
+        start = time.perf_counter()
+        parallel = BatchEngine(jobs=4, cache=cache,
+                               telemetry=par_tel).run(specs)
+        rows.append(["parallel (jobs=4)", len(specs),
+                     round(time.perf_counter() - start, 3)])
+
+        warm_tel = Telemetry()
+        start = time.perf_counter()
+        warm = BatchEngine(jobs=4, cache=cache,
+                           telemetry=warm_tel).run(specs)
+        rows.append(["warm cache", len(specs),
+                     round(time.perf_counter() - start, 3)])
+
+        cycles = {
+            "serial": [o.summary.total_cycles for o in serial],
+            "parallel": [o.summary.total_cycles for o in parallel],
+            "warm": [o.summary.total_cycles for o in warm],
+        }
+        block = format_table(
+            ["pass", "jobs in grid", "wall sec"], rows,
+            title="Runtime engine: PageRank x 9 datasets x 5 "
+                  "schedules") + "\n" + warm_tel.format_summary(cache)
+        return self.output(
+            {"runtime_engine": block},
+            cycles=cycles, rows=rows,
+            warm_started=warm_tel.count("started"),
+            warm_cached=warm_tel.count("cached"),
+            grid_size=len(specs),
+        )

@@ -1,0 +1,150 @@
+"""Execute registered figures through the batch engine.
+
+The driver is the one loop the 21 benchmark scripts used to re-code:
+collect every selected figure's grid, deduplicate cells shared between
+figures, submit the whole batch through one
+:class:`~repro.runtime.engine.BatchEngine` (parallel workers, shared
+:class:`~repro.runtime.cache.ResultCache`, one telemetry stream), then
+hand each figure its results to summarize.
+
+Grid expansion order is *deterministic*: the merged batch is sorted by
+:meth:`JobSpec.content_hash` — never by dict/registration order — so
+cache keys, telemetry streams and emitted result rows are stable
+across runs and across ``--jobs`` values.  Figures look results up by
+spec, not by index, so the global ordering is invisible to them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.figures.registry import (Figure, FigureContext, FigureOutput,
+                                    get_figure, resolve_figures)
+from repro.runtime.cache import ResultCache, RunSummary
+from repro.runtime.engine import BatchEngine, raise_on_failures
+from repro.runtime.jobspec import JobSpec
+from repro.runtime.telemetry import Telemetry
+from repro.sim.stats import KernelStats
+
+
+class ResultSet:
+    """Engine outcomes indexed by job spec.
+
+    Figures rebuild their specs in ``summarize`` and look summaries up
+    here — content-equal specs hash equal, so the lookup works across
+    the build/summarize boundary regardless of batch order.
+    """
+
+    def __init__(self, outcomes: Iterable) -> None:
+        self._by_spec = {o.spec: o for o in outcomes}
+
+    def __len__(self) -> int:
+        return len(self._by_spec)
+
+    def __contains__(self, spec: JobSpec) -> bool:
+        return spec in self._by_spec
+
+    def summary(self, spec: JobSpec) -> RunSummary:
+        """The run summary for ``spec`` (raises on unknown/failed)."""
+        outcome = self._by_spec.get(spec)
+        if outcome is None:
+            raise ReproError(
+                f"no result for job {spec.label!r} "
+                f"({spec.content_hash()[:12]}); was it in build_jobs()?"
+            )
+        if outcome.summary is None:
+            raise ReproError(
+                f"job {spec.label!r} failed: {outcome.error}")
+        return outcome.summary
+
+    def __getitem__(self, spec: JobSpec) -> RunSummary:
+        return self.summary(spec)
+
+    def cycles(self, spec: JobSpec) -> int:
+        """Total simulated cycles of ``spec``'s run."""
+        return self.summary(spec).total_cycles
+
+    def stats(self, spec: JobSpec) -> KernelStats:
+        """The full (round-tripped) kernel stats of ``spec``'s run."""
+        return self.summary(spec).stats
+
+
+def expand_jobs(
+    figures: Sequence[Figure], ctx: FigureContext,
+) -> Tuple[List[JobSpec], Dict[str, List[JobSpec]]]:
+    """Collect every figure's grid into one deterministic batch.
+
+    Returns the merged batch — deduplicated, sorted by content hash —
+    plus the per-figure job lists (for reporting).
+    """
+    per_figure: Dict[str, List[JobSpec]] = {}
+    merged: Dict[str, JobSpec] = {}
+    for figure in figures:
+        jobs = list(figure.build_jobs(ctx))
+        per_figure[figure.name] = jobs
+        for spec in jobs:
+            merged[spec.content_hash()] = spec
+    batch = [merged[h] for h in sorted(merged)]
+    return batch, per_figure
+
+
+def run_figures(
+    figures: Union[Sequence[str], Sequence[Figure]],
+    ctx: Optional[FigureContext] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    telemetry: Optional[Telemetry] = None,
+    engine: Optional[BatchEngine] = None,
+) -> Dict[str, FigureOutput]:
+    """Regenerate a set of figures; returns name -> output.
+
+    ``figures`` may be Figure objects or names/prefixes (resolved via
+    :func:`~repro.figures.registry.resolve_figures`).  ``jobs`` /
+    ``cache`` / ``telemetry`` configure the shared engine (or pass a
+    prebuilt ``engine``); a warm cache turns the whole batch into
+    lookups — a second identical run simulates nothing.
+    """
+    ctx = ctx or FigureContext()
+    resolved: List[Figure] = []
+    names: List[str] = []
+    for entry in figures:
+        if isinstance(entry, Figure):
+            resolved.append(entry)
+        else:
+            names.append(entry)
+    if names:
+        resolved.extend(resolve_figures(names))
+    # De-duplicate while preserving a deterministic (sorted) order.
+    unique = {fig.name: fig for fig in resolved}
+    ordered = [unique[name] for name in sorted(unique)]
+
+    batch, _per_figure = expand_jobs(ordered, ctx)
+    if engine is None:
+        engine = BatchEngine(jobs=jobs, cache=cache, telemetry=telemetry)
+    elif jobs is not None or cache is not None or telemetry is not None:
+        raise ReproError(
+            "pass either a prebuilt engine or jobs=/cache=/telemetry=, "
+            "not both")
+    outcomes = engine.run(batch)
+    raise_on_failures(outcomes)
+    results = ResultSet(outcomes)
+
+    return {fig.name: fig.summarize(ctx, results) for fig in ordered}
+
+
+def run_figure(
+    name: Union[str, Figure],
+    ctx: Optional[FigureContext] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    telemetry: Optional[Telemetry] = None,
+    engine: Optional[BatchEngine] = None,
+) -> FigureOutput:
+    """Regenerate one figure (name, prefix-unique name, or instance)."""
+    figure = name if isinstance(name, Figure) else get_figure(name)
+    outputs = run_figures([figure], ctx, jobs=jobs, cache=cache,
+                          telemetry=telemetry, engine=engine)
+    return outputs[figure.name]

@@ -224,6 +224,7 @@ class JobSpec:
     max_iterations: Optional[int] = None
     symmetrize: bool = False
     seed: int = 0
+    schedule_params: Params = ()
 
     @classmethod
     def create(
@@ -236,12 +237,14 @@ class JobSpec:
         symmetrize: bool = False,
         seed: int = 0,
         graph_name: str = "inline",
+        schedule_params: Optional[Dict[str, Any]] = None,
     ) -> "JobSpec":
         """Build a spec, coercing a raw :class:`CSRGraph` to inline."""
         if isinstance(graph, CSRGraph):
             graph = GraphSpec.inline(graph, name=graph_name)
         return cls(algorithm, graph, schedule, config, max_iterations,
-                   symmetrize, seed)
+                   symmetrize, seed,
+                   _freeze_params(schedule_params or {}))
 
     # ------------------------------------------------------------------
     def effective_config(self) -> GPUConfig:
@@ -251,11 +254,20 @@ class JobSpec:
     @property
     def label(self) -> str:
         """Short human-readable job name for telemetry and tables."""
-        return f"{self.algorithm.name}/{self.graph.name}/{self.schedule}"
+        sched = self.schedule
+        if self.schedule_params:
+            sched += "[" + ",".join(
+                f"{k}={v}" for k, v in self.schedule_params) + "]"
+        return f"{self.algorithm.name}/{self.graph.name}/{sched}"
 
     def to_dict(self) -> Dict[str, Any]:
-        """Canonical JSON-able form (also the hash input)."""
-        return {
+        """Canonical JSON-able form (also the hash input).
+
+        ``schedule_params`` only appears when non-empty, so specs
+        without schedule knobs keep the content hash they had before
+        the field existed (no gratuitous cache invalidation).
+        """
+        out = {
             "algorithm": self.algorithm.to_dict(),
             "graph": self.graph.to_dict(),
             "schedule": self.schedule,
@@ -264,6 +276,9 @@ class JobSpec:
             "symmetrize": self.symmetrize,
             "seed": self.seed,
         }
+        if self.schedule_params:
+            out["schedule_params"] = dict(self.schedule_params)
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
@@ -277,6 +292,8 @@ class JobSpec:
             max_iterations=data.get("max_iterations"),
             symmetrize=bool(data.get("symmetrize", False)),
             seed=int(data.get("seed", 0)),
+            schedule_params=_freeze_params(
+                data.get("schedule_params", {})),
         )
 
     def content_hash(self) -> str:
@@ -300,11 +317,15 @@ class JobSpec:
         cannot drift from serial ones.
         """
         from repro.bench.runner import run_single
+        from repro.sched import make_schedule
 
+        schedule = (make_schedule(self.schedule,
+                                  **dict(self.schedule_params))
+                    if self.schedule_params else self.schedule)
         return run_single(
             self.algorithm.build(),
             self.graph.build(),
-            self.schedule,
+            schedule,
             config=self.effective_config(),
             max_iterations=self.max_iterations,
             symmetrize=self.symmetrize,

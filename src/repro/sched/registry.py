@@ -77,14 +77,31 @@ def schedule_names() -> List[str]:
     return list(_FACTORIES)
 
 
-def make_schedule(name: Union[str, Schedule]) -> Schedule:
+def make_schedule(name: Union[str, Schedule], **params) -> Schedule:
     """Resolve a schedule by name (paper aliases accepted) or pass an
-    instance through."""
+    instance through.
+
+    Keyword ``params`` are forwarded to the schedule constructor
+    (e.g. ``make_schedule("sparseweaver", prefetch_depth=8)``), which
+    is how a :class:`~repro.runtime.jobspec.JobSpec` rebuilds a
+    parametrized schedule inside a worker process.
+    """
     if isinstance(name, Schedule):
+        if params:
+            raise ScheduleError(
+                "schedule parameters can only be applied to a schedule "
+                f"name, not an instance ({name.name!r})"
+            )
         return name
     key = _ALIASES.get(name.lower(), name.lower())
     if key not in _FACTORIES:
         raise ScheduleError(
             f"unknown schedule {name!r}; known: {sorted(_FACTORIES)}"
         )
-    return _FACTORIES[key]()
+    try:
+        return _FACTORIES[key](**params)
+    except TypeError as exc:
+        raise ScheduleError(
+            f"schedule {key!r} rejected parameters "
+            f"{sorted(params)}: {exc}"
+        ) from None

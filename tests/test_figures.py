@@ -1,0 +1,278 @@
+"""The figure registry and its engine driver.
+
+Covers the registry contract (every figure discoverable, grids
+picklable/hashable, summaries well-formed), the determinism guarantees
+(expansion order stable across runs and worker counts), parity with
+the pre-registry serial runner (bit-identical cycles for fig10 and
+table1), and warm-cache incrementality (second run simulates nothing).
+"""
+
+import pickle
+
+import pytest
+
+from repro.figures import (FigureContext, expand_jobs, figure_names,
+                           get_figure, list_figures, resolve_figures,
+                           run_figure, run_figures)
+from repro.errors import ReproError
+from repro.runtime import JobSpec, ResultCache, Telemetry
+
+SMOKE = FigureContext.smoke_context()
+
+#: Figures cheap enough to execute end-to-end inside tier-1 tests.
+FAST_FIGURES = ["fig02b", "fig13", "ablation_dt_bypass", "table1"]
+
+
+# ----------------------------------------------------------------- registry
+
+def test_registry_names_sorted_unique():
+    names = figure_names()
+    assert names == sorted(names)
+    assert len(names) == len(set(names))
+    assert [f.name for f in list_figures()] == names
+
+
+def test_registry_covers_every_benchmark_family():
+    """Every bench_*.py family has registered figures."""
+    names = set(figure_names())
+    expected = {
+        "fig02a", "fig02b", "fig03", "fig04",
+        "fig10_pagerank", "fig10_bfs", "fig10_sssp", "fig10_cc",
+        "fig11a", "fig11b", "fig12", "fig13", "fig14", "fig15",
+        "fig16", "fig17", "fig18", "fig19",
+        "table1", "table3", "table4", "table5",
+        "paper_config", "robustness", "extended_ranking",
+        "runtime_engine",
+        "micro_pointer_chase", "micro_stream_bandwidth",
+        "micro_issue_throughput", "micro_latency_hiding",
+        "ablation_prefetch_depth", "ablation_zero_skip_width",
+        "ablation_dt_bypass", "ablation_weaver_capacity",
+        "ablation_eghw_mlp", "ablation_split_vs_weaver",
+        "ablation_core_scaling", "ablation_energy",
+        "ablation_reordering",
+    }
+    assert expected <= names
+
+
+def test_resolve_figures_exact_prefix_and_errors():
+    assert [f.name for f in resolve_figures(["fig13"])] == ["fig13"]
+    fig10s = [f.name for f in resolve_figures(["fig10"])]
+    assert fig10s == ["fig10_bfs", "fig10_cc", "fig10_pagerank",
+                      "fig10_sssp"]
+    abls = [f.name for f in resolve_figures(["ablation"])]
+    assert len(abls) == 9
+    # duplicates collapse, result stays sorted
+    both = [f.name for f in resolve_figures(["fig10", "fig10_bfs"])]
+    assert both == fig10s
+    with pytest.raises(ReproError):
+        resolve_figures(["nonsense"])
+    with pytest.raises(ReproError):
+        get_figure("nonsense")
+
+
+def test_register_rejects_duplicates_and_anonymous():
+    from repro.figures import Figure, register
+
+    class Dup(Figure):
+        name = "fig13"
+
+    with pytest.raises(ReproError):
+        register(Dup)
+
+    class Anon(Figure):
+        name = ""
+
+    with pytest.raises(ReproError):
+        register(Anon)
+
+
+@pytest.mark.parametrize("name", figure_names())
+def test_figure_metadata_and_grid_contract(name):
+    """Every figure declares metadata and a picklable, hashable,
+    rebuild-stable grid."""
+    fig = get_figure(name)
+    assert fig.title, name
+    assert fig.paper, name
+
+    jobs = fig.build_jobs(SMOKE)
+    assert isinstance(jobs, list)
+    for spec in jobs:
+        assert isinstance(spec, JobSpec)
+        hash(spec)
+        assert spec.content_hash()
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.content_hash() == spec.content_hash()
+
+    rebuilt = fig.build_jobs(SMOKE)
+    assert ([s.content_hash() for s in jobs]
+            == [s.content_hash() for s in rebuilt])
+
+
+# ------------------------------------------------------------- determinism
+
+def test_expand_jobs_sorted_by_hash_and_deduped():
+    """The merged batch is hash-sorted and shares cells between
+    figures (fig10_pagerank and robustness overlap at scale 0.25)."""
+    ctx = FigureContext()
+    figs = resolve_figures(["fig10_pagerank", "robustness"])
+    batch, per_figure = expand_jobs(figs, ctx)
+    hashes = [s.content_hash() for s in batch]
+    assert hashes == sorted(hashes)
+    assert len(hashes) == len(set(hashes))
+    total = sum(len(v) for v in per_figure.values())
+    assert len(batch) < total  # deduplication happened
+
+    # Order is independent of figure iteration order.
+    batch2, _ = expand_jobs(list(reversed(figs)), ctx)
+    assert [s.content_hash() for s in batch2] == hashes
+
+
+def test_grid_stable_across_worker_counts(tmp_path):
+    """Identical outputs (cycles and artifact text) at jobs=1 and
+    jobs=2."""
+    serial = run_figure("fig13", SMOKE, jobs=1)
+    parallel = run_figure("fig13", SMOKE, jobs=2)
+    assert serial.data["cycles"] == parallel.data["cycles"]
+    assert serial.blocks == parallel.blocks
+
+
+# ------------------------------------------------------------------ parity
+
+def test_fig10_parity_with_preport_serial_runner():
+    """The registry path reproduces run_schedule_comparison's cycles
+    bit-for-bit (acceptance criterion)."""
+    from repro.bench import run_schedule_comparison
+    from repro.figures.defs import fig10 as fig10_defs
+    from repro.graph import dataset, dataset_names
+    from repro.runtime import AlgorithmSpec
+    from repro.sim import GPUConfig
+
+    out = run_figure("fig10_pagerank", SMOKE, jobs=1)
+
+    names = dataset_names()[:3]  # SMOKE trims to three datasets
+    graphs = {n: dataset(n, scale=SMOKE.rescale(0.25)) for n in names}
+    result = run_schedule_comparison(
+        AlgorithmSpec.of("pagerank", iterations=2), graphs,
+        fig10_defs.SCHEDULES, config=GPUConfig.vortex_bench(),
+        max_iterations=2)
+    assert out.data["cycles"] == result.cycles
+
+
+def test_table1_parity_with_preport_analytic_path():
+    from repro.graph import dataset
+    from repro.sched import analytic
+    from repro.sim import GPUConfig
+
+    out = run_figure("table1", SMOKE)
+    graph = dataset("graph500", scale=SMOKE.rescale(0.25))
+    expected = analytic.characteristics_table(
+        graph, GPUConfig.vortex_paper())
+    assert out.blocks["table1_schemes"] == expected
+
+
+# ------------------------------------------------------------ incremental
+
+def test_second_run_is_all_cache_hits(tmp_path):
+    """Warm-cache acceptance criterion: a repeated run submits the
+    same batch and simulates nothing."""
+    cache = ResultCache(str(tmp_path))
+
+    cold = Telemetry()
+    first = run_figures(FAST_FIGURES, SMOKE, jobs=1, cache=cache,
+                        telemetry=cold)
+    submitted = cold.count("started")
+    assert submitted > 0
+    assert cold.count("cached") == 0
+
+    warm = Telemetry()
+    second = run_figures(FAST_FIGURES, SMOKE, jobs=1, cache=cache,
+                         telemetry=warm)
+    assert warm.count("started") == 0
+    assert warm.count("cached") == submitted
+    for name in first:
+        assert first[name].blocks == second[name].blocks
+
+
+#: Figures whose artifact text embeds measured wall-clock seconds, so
+#: repeated summaries legitimately differ.
+WALL_CLOCK_FIGURES = {"table5", "runtime_engine"}
+
+
+@pytest.fixture(scope="module")
+def whole_registry(tmp_path_factory):
+    """Every figure, cold then warm against one shared cache."""
+    cache = ResultCache(str(tmp_path_factory.mktemp("figcache")))
+    cold_tel = Telemetry()
+    cold = run_figures(list_figures(), SMOKE, jobs=1, cache=cache,
+                       telemetry=cold_tel)
+    warm_tel = Telemetry()
+    warm = run_figures(list_figures(), SMOKE, jobs=1, cache=cache,
+                       telemetry=warm_tel)
+    return cold, warm, cold_tel, warm_tel
+
+
+@pytest.mark.parametrize("name", figure_names())
+def test_summarize_round_trips_engine_summaries(name, whole_registry):
+    """summarize() produces well-formed blocks from live summaries and
+    reproduces them from cache-round-tripped summary dicts."""
+    cold, warm, _cold_tel, _warm_tel = whole_registry
+    out = cold[name]
+    assert out.name == name
+    assert out.blocks, name
+    for block_name, text in out.blocks.items():
+        assert isinstance(text, str) and text.strip(), block_name
+    if name not in WALL_CLOCK_FIGURES:
+        assert warm[name].blocks == out.blocks
+
+
+def test_whole_registry_warm_run_simulates_nothing(whole_registry):
+    _cold, _warm, cold_tel, warm_tel = whole_registry
+    assert cold_tel.count("started") > 0
+    assert warm_tel.count("started") == 0
+    assert warm_tel.count("cached") == cold_tel.count("started")
+
+
+# ----------------------------------------------------------------- driver
+
+def test_resultset_errors_on_unknown_spec():
+    from repro.figures import ResultSet
+    from repro.runtime import AlgorithmSpec, GraphSpec
+
+    results = ResultSet([])
+    spec = JobSpec(
+        algorithm=AlgorithmSpec.of("pagerank", iterations=1),
+        graph=GraphSpec.from_dataset("bio-human", scale=0.05),
+        schedule="vertex_map")
+    assert spec not in results
+    with pytest.raises(ReproError):
+        results.summary(spec)
+
+
+def test_driver_rejects_engine_plus_engine_opts():
+    from repro.runtime import BatchEngine
+
+    with pytest.raises(ReproError):
+        run_figures(["table1"], SMOKE, jobs=2,
+                    engine=BatchEngine(jobs=1))
+
+
+def test_figure_outputs_write_same_artifact_names(tmp_path):
+    """CLI acceptance: blocks land as benchmarks/results-style files."""
+    from repro.cli import main
+
+    out_dir = tmp_path / "results"
+    rc = main(["bench", "--smoke", "--figures", "table1,fig13",
+               "--jobs", "1", "--no-cache", "--out", str(out_dir)])
+    assert rc == 0
+    produced = sorted(p.name for p in out_dir.glob("*.txt"))
+    assert produced == ["fig13_table_latency.txt", "table1_schemes.txt"]
+
+
+def test_cli_bench_list(capsys):
+    from repro.cli import main
+
+    assert main(["bench", "--list"]) == 0
+    printed = capsys.readouterr().out
+    assert "fig10_pagerank" in printed
+    assert "table5" in printed

@@ -11,7 +11,7 @@ SUBPACKAGES = [
     "repro.graph", "repro.sim", "repro.core", "repro.sched",
     "repro.frontend", "repro.algorithms", "repro.autotune",
     "repro.bench", "repro.apps", "repro.cli", "repro.runtime",
-    "repro.obs",
+    "repro.obs", "repro.figures",
 ]
 
 
@@ -70,3 +70,67 @@ def test_algorithm_registry_consistent():
         alg = make_algorithm(name)
         assert alg.name
         assert alg.result_array
+
+
+def test_figure_facade_stable():
+    """The five names the README promises stay importable from repro."""
+    from repro import (BatchEngine, ResultCache, list_figures,
+                       run_figure, run_schedule_comparison)
+
+    assert callable(run_figure)
+    assert callable(run_schedule_comparison)
+    assert callable(BatchEngine)
+    assert callable(ResultCache)
+    figs = list_figures()
+    assert figs, "figure registry is empty"
+    for name in ("list_figures", "run_figure", "run_figures",
+                 "figure_names", "Figure", "FigureContext",
+                 "FigureOutput", "run_schedule_comparison",
+                 "run_single", "BatchEngine", "ResultCache"):
+        assert name in repro.__all__, name
+
+
+def test_figure_registry_names_unique_and_sorted():
+    from repro.figures import figure_names, get_figure, list_figures
+
+    names = figure_names()
+    assert names == sorted(names)
+    assert len(names) == len(set(names))
+    assert [f.name for f in list_figures()] == names
+    for name in names:
+        assert get_figure(name).name == name
+
+
+def test_run_schedule_comparison_keyword_only_tail():
+    """The legacy positional (config, max_iterations, symmetrize) tail
+    still works but warns; keywords are the supported spelling."""
+    import warnings
+
+    from repro.bench import runner
+    from repro.graph import powerlaw_graph
+    from repro.runtime import AlgorithmSpec
+    from repro.sim import GPUConfig
+
+    graph = powerlaw_graph(64, 256, seed=3)
+    cfg = GPUConfig.vortex_bench()
+    alg = AlgorithmSpec.of("pagerank", iterations=1)
+
+    kw = runner.run_schedule_comparison(
+        alg, {"g": graph}, ["vertex_map"], config=cfg,
+        max_iterations=1)
+
+    runner._POSITIONAL_TAIL_WARNED = False
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        legacy = runner.run_schedule_comparison(
+            alg, {"g": graph}, ["vertex_map"], cfg, 1)
+    assert any(issubclass(w.category, DeprecationWarning)
+               for w in caught)
+    assert legacy.cycles == kw.cycles
+
+    with pytest.raises(TypeError):
+        runner.run_schedule_comparison(
+            alg, {"g": graph}, ["vertex_map"], cfg, config=cfg)
+    with pytest.raises(TypeError):
+        runner.run_schedule_comparison(
+            alg, {"g": graph}, ["vertex_map"], cfg, 1, False, "extra")
