@@ -31,10 +31,12 @@ Layers (see DESIGN.md for the full inventory):
 from repro.errors import (
     AlgorithmError,
     ConfigError,
+    FatalError,
     GraphError,
     ReproError,
     ScheduleError,
     SimulationError,
+    TransientError,
     WeaverError,
 )
 from repro.graph import (
@@ -53,13 +55,16 @@ from repro.algorithms import make_algorithm, algorithm_names
 from repro.runtime import (
     AlgorithmSpec,
     BatchEngine,
+    FaultPlan,
     GraphSpec,
     JobSpec,
     ResultCache,
+    RunJournal,
     Telemetry,
 )
 from repro.bench import run_schedule_comparison, run_single
 from repro.figures import (
+    FailureReport,
     Figure,
     FigureContext,
     FigureOutput,
@@ -67,6 +72,7 @@ from repro.figures import (
     list_figures,
     run_figure,
     run_figures,
+    run_figures_report,
 )
 
 __version__ = "1.0.0"
@@ -79,6 +85,8 @@ __all__ = [
     "WeaverError",
     "ScheduleError",
     "AlgorithmError",
+    "TransientError",
+    "FatalError",
     "CSRGraph",
     "from_edge_list",
     "powerlaw_graph",
@@ -102,12 +110,15 @@ __all__ = [
     "algorithm_names",
     "AlgorithmSpec",
     "BatchEngine",
+    "FaultPlan",
     "GraphSpec",
     "JobSpec",
     "ResultCache",
+    "RunJournal",
     "Telemetry",
     "run_single",
     "run_schedule_comparison",
+    "FailureReport",
     "Figure",
     "FigureContext",
     "FigureOutput",
@@ -115,5 +126,6 @@ __all__ = [
     "list_figures",
     "run_figure",
     "run_figures",
+    "run_figures_report",
     "__version__",
 ]

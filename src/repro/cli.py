@@ -93,6 +93,23 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="disable the result cache for this run")
     bench_p.add_argument("--telemetry", default=None, metavar="PATH",
                          help="append run events to this JSONL file")
+    bench_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job timeout in seconds")
+    bench_p.add_argument("--keep-going", action="store_true",
+                         help="finish the whole batch even when jobs "
+                              "fail; emit the completed figures plus a "
+                              "failure table on stderr (exit 1)")
+    bench_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="append each completed job to this run "
+                              "journal (JSONL) for --resume")
+    bench_p.add_argument("--resume", action="store_true",
+                         help="restore completed jobs from --journal "
+                              "before running; nothing journaled is "
+                              "re-simulated")
+    bench_p.add_argument("--faults", default=None, metavar="PLAN",
+                         help="inject a deterministic fault plan, e.g. "
+                              "'crash@1,corrupt@0,seed=7' (see "
+                              "repro.runtime.faults; also REPRO_FAULTS)")
 
     sub.add_parser("datasets", help="Table III analog inventory")
 
@@ -147,6 +164,23 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="result-cache byte budget")
     batch_p.add_argument("--cache-ttl", type=float, default=None,
                          help="result-cache entry TTL in seconds")
+    batch_p.add_argument("--retries", type=int, default=1,
+                         help="extra attempts per job after a transient "
+                              "failure (worker crash) before failing it")
+    batch_p.add_argument("--fail-fast", action="store_true",
+                         help="stop scheduling at the first failed job; "
+                              "the rest of the batch is marked skipped")
+    batch_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="append each completed job to this run "
+                              "journal (JSONL) for --resume")
+    batch_p.add_argument("--resume", action="store_true",
+                         help="restore completed jobs from --journal "
+                              "before running; nothing journaled is "
+                              "re-simulated")
+    batch_p.add_argument("--faults", default=None, metavar="PLAN",
+                         help="inject a deterministic fault plan, e.g. "
+                              "'crash@1,corrupt@0,seed=7' (see "
+                              "repro.runtime.faults; also REPRO_FAULTS)")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the result cache")
@@ -244,12 +278,54 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _resolve_journal(args):
+    """``--journal``/``--resume`` flags -> a ready RunJournal or None.
+
+    ``--resume`` loads the existing journal (restored jobs are not
+    re-simulated); without it a named journal starts fresh so stale
+    completions cannot silently skip work.
+    """
+    from repro.errors import ConfigError
+    from repro.runtime import RunJournal
+
+    if args.resume and not args.journal:
+        raise ConfigError("--resume requires --journal PATH")
+    if not args.journal:
+        return None
+    journal = RunJournal(args.journal)
+    if args.resume:
+        restored = journal.load()
+        note = (f"resume: {restored} completed job(s) restored from "
+                f"{args.journal}")
+        if journal.bad_lines or journal.stale_lines:
+            note += (f" ({journal.bad_lines} torn, "
+                     f"{journal.stale_lines} stale line(s) skipped)")
+        print(note)
+    else:
+        journal.reset()
+    return journal
+
+
+def _resolve_faults(args):
+    """``--faults PLAN`` -> a parsed FaultPlan, or None (env fallback)."""
+    if not getattr(args, "faults", None):
+        return None
+    from repro.runtime import FaultPlan
+
+    return FaultPlan.parse(args.faults)
+
+
+def _print_failures(report, stream=None) -> None:
+    """Emit a failure report table on stderr."""
+    print(report.format(), file=stream or sys.stderr)
+
+
 def _cmd_bench(args) -> int:
     import time
     from pathlib import Path
 
     from repro.figures import (FigureContext, list_figures,
-                               resolve_figures, run_figures)
+                               resolve_figures, run_figures_report)
     from repro.runtime import ResultCache, Telemetry
 
     if args.list_figures:
@@ -271,11 +347,16 @@ def _cmd_bench(args) -> int:
         ctx = (FigureContext(scale=args.scale) if args.scale
                else FigureContext())
 
-    cache = None if args.no_cache else ResultCache(args.cache_dir)
-    telemetry = Telemetry(args.telemetry)
+    faults = _resolve_faults(args)
+    journal = _resolve_journal(args)
+    cache = None if args.no_cache else ResultCache(args.cache_dir,
+                                                   faults=faults)
+    telemetry = Telemetry(args.telemetry, faults=faults)
     start = time.perf_counter()
-    outputs = run_figures(figures, ctx, jobs=args.jobs, cache=cache,
-                          telemetry=telemetry)
+    outputs, report = run_figures_report(
+        figures, ctx, jobs=args.jobs, cache=cache, telemetry=telemetry,
+        journal=journal, timeout=args.timeout, faults=faults,
+        policy="keep_going" if args.keep_going else "fail_fast")
     elapsed = time.perf_counter() - start
 
     out_dir = Path(args.out) if args.out else (
@@ -293,6 +374,9 @@ def _cmd_bench(args) -> int:
         title=f"{len(outputs)} figure(s) in {elapsed:.1f}s -> "
               f"{out_dir}"))
     print(telemetry.format_summary(cache))
+    if not report.ok:
+        _print_failures(report)
+        return 1
     return 0
 
 
@@ -434,13 +518,17 @@ def _cmd_batch(args) -> int:
         from repro.obs.tracing import Tracer
 
         tracer = Tracer()
+    faults = _resolve_faults(args)
+    journal = _resolve_journal(args)
     cache = None if args.no_cache else ResultCache(
         args.cache_dir, max_bytes=args.cache_max_bytes,
-        ttl_seconds=args.cache_ttl)
-    telemetry = Telemetry(args.telemetry)
+        ttl_seconds=args.cache_ttl, faults=faults)
+    telemetry = Telemetry(args.telemetry, faults=faults)
     engine = BatchEngine(jobs=args.jobs, cache=cache,
                          telemetry=telemetry, timeout=args.timeout,
-                         tracer=tracer)
+                         retries=args.retries, tracer=tracer,
+                         journal=journal, faults=faults,
+                         fail_fast=args.fail_fast)
     outcomes = engine.run(specs)
 
     rows = [
@@ -461,10 +549,13 @@ def _cmd_batch(args) -> int:
         print(f"metrics snapshot: {get_registry().save(args.metrics)}")
     if tracer is not None:
         print(f"engine trace: {tracer.save(args.trace)}")
-    failed = [o for o in outcomes if not o.ok]
-    for o in failed:
-        print(f"FAILED {o.spec.label}: {o.error}")
-    return 1 if failed else 0
+    from repro.figures.driver import FailureReport
+
+    report = FailureReport.from_outcomes(outcomes)
+    if not report.ok:
+        _print_failures(report)
+        return 1
+    return 0
 
 
 def _cmd_cache(args) -> int:
@@ -521,9 +612,25 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Exit codes: 0 success; 1 at least one job failed (partial results
+    were still emitted under ``--keep-going``); 2 configuration error;
+    130 interrupted (SIGINT) — a journaled run resumes with
+    ``--resume``.
+    """
+    from repro.errors import ReproError
+
     args = _build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted; rerun with --resume to continue a "
+              "journaled batch", file=sys.stderr)
+        return 130
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,18 +28,23 @@ from repro.figures.registry import (
     resolve_figures,
 )
 from repro.figures.driver import (
+    FailureReport,
+    JobFailure,
     ResultSet,
     expand_jobs,
     run_figure,
     run_figures,
+    run_figures_report,
 )
 
 __all__ = [
     "DEFAULT_SCALE",
     "SMOKE_SCALE",
+    "FailureReport",
     "Figure",
     "FigureContext",
     "FigureOutput",
+    "JobFailure",
     "ResultSet",
     "expand_jobs",
     "figure_names",
@@ -49,4 +54,5 @@ __all__ = [
     "resolve_figures",
     "run_figure",
     "run_figures",
+    "run_figures_report",
 ]

@@ -12,17 +12,27 @@ Grid expansion order is *deterministic*: the merged batch is sorted by
 cache keys, telemetry streams and emitted result rows are stable
 across runs and across ``--jobs`` values.  Figures look results up by
 spec, not by index, so the global ordering is invisible to them.
+
+Failure handling comes in two shapes: :func:`run_figures` raises on
+the first report of failed jobs (every figure or nothing), while
+:func:`run_figures_report` degrades gracefully — it returns the
+figures whose jobs all completed plus a structured
+:class:`FailureReport` naming every failed job and every figure
+skipped because of one, so a long batch with one bad cell still
+yields the other N-1 figures and a resumable journal.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.figures.registry import (Figure, FigureContext, FigureOutput,
                                     get_figure, resolve_figures)
 from repro.runtime.cache import ResultCache, RunSummary
-from repro.runtime.engine import BatchEngine, raise_on_failures
+from repro.runtime.engine import (BatchEngine, JobOutcome,
+                                  raise_on_failures)
 from repro.runtime.jobspec import JobSpec
 from repro.runtime.telemetry import Telemetry
 from repro.sim.stats import KernelStats
@@ -44,6 +54,15 @@ class ResultSet:
 
     def __contains__(self, spec: JobSpec) -> bool:
         return spec in self._by_spec
+
+    def outcome(self, spec: JobSpec) -> Optional[JobOutcome]:
+        """The raw engine outcome for ``spec`` (``None`` if unknown)."""
+        return self._by_spec.get(spec)
+
+    def ok(self, spec: JobSpec) -> bool:
+        """Whether ``spec`` ran and carries a usable summary."""
+        outcome = self._by_spec.get(spec)
+        return outcome is not None and outcome.ok
 
     def summary(self, spec: JobSpec) -> RunSummary:
         """The run summary for ``spec`` (raises on unknown/failed)."""
@@ -89,6 +108,143 @@ def expand_jobs(
     return batch, per_figure
 
 
+@dataclass
+class JobFailure:
+    """One failed (or skipped) job in a figure batch."""
+
+    label: str
+    job: str  # short content hash
+    status: str  # "failed" | "skipped"
+    error: str
+    attempts: int
+
+
+@dataclass
+class FailureReport:
+    """Structured account of what a figure batch did not finish.
+
+    ``failures`` lists every failed/skipped job; ``skipped_figures``
+    names the figures that could not summarize because one of their
+    jobs is in ``failures``.  An empty report (``ok``) means the batch
+    completed fully.
+    """
+
+    total_jobs: int = 0
+    completed_jobs: int = 0
+    failures: List[JobFailure] = field(default_factory=list)
+    skipped_figures: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Sequence[JobOutcome]
+                      ) -> "FailureReport":
+        report = cls(total_jobs=len(outcomes))
+        for outcome in outcomes:
+            if outcome.ok:
+                report.completed_jobs += 1
+            else:
+                report.failures.append(JobFailure(
+                    label=outcome.spec.label,
+                    job=outcome.spec.content_hash()[:12],
+                    status=outcome.status,
+                    error=outcome.error or "",
+                    attempts=outcome.attempts,
+                ))
+        return report
+
+    def format(self) -> str:
+        """Human-readable failure table (for stderr)."""
+        lines = [
+            f"{len(self.failures)} of {self.total_jobs} job(s) did not "
+            f"complete ({self.completed_jobs} ok):"
+        ]
+        for f in self.failures:
+            lines.append(f"  {f.status:<7} {f.label} [{f.job}] "
+                         f"(attempt {f.attempts}): {f.error}")
+        if self.skipped_figures:
+            lines.append("figures skipped: "
+                         + ", ".join(self.skipped_figures))
+        return "\n".join(lines)
+
+
+def _resolve_figure_list(
+    figures: Union[Sequence[str], Sequence[Figure]],
+) -> List[Figure]:
+    """Names/prefixes/instances -> deduplicated, sorted Figure list."""
+    resolved: List[Figure] = []
+    names: List[str] = []
+    for entry in figures:
+        if isinstance(entry, Figure):
+            resolved.append(entry)
+        else:
+            names.append(entry)
+    if names:
+        resolved.extend(resolve_figures(names))
+    # De-duplicate while preserving a deterministic (sorted) order.
+    unique = {fig.name: fig for fig in resolved}
+    return [unique[name] for name in sorted(unique)]
+
+
+def run_figures_report(
+    figures: Union[Sequence[str], Sequence[Figure]],
+    ctx: Optional[FigureContext] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    telemetry: Optional[Telemetry] = None,
+    engine: Optional[BatchEngine] = None,
+    journal=None,
+    timeout: Optional[float] = None,
+    policy: str = "keep_going",
+    faults=None,
+) -> Tuple[Dict[str, FigureOutput], FailureReport]:
+    """Regenerate figures with graceful degradation.
+
+    Like :func:`run_figures`, but failed jobs do not raise: the
+    figures whose jobs all completed are summarized and returned, the
+    rest are named in the accompanying :class:`FailureReport`.
+    ``policy`` is ``"keep_going"`` (default: run everything, report
+    failures at the end) or ``"fail_fast"`` (stop scheduling at the
+    first failure; unreached jobs come back ``"skipped"``).
+    ``journal`` takes a :class:`~repro.runtime.journal.RunJournal` for
+    resumable runs — already-journaled jobs are restored without
+    re-simulation and new completions are appended as they finish.
+    """
+    if policy not in ("keep_going", "fail_fast"):
+        raise ConfigError(
+            f"unknown failure policy {policy!r}; expected 'keep_going' "
+            f"or 'fail_fast'")
+    ctx = ctx or FigureContext()
+    ordered = _resolve_figure_list(figures)
+
+    batch, per_figure = expand_jobs(ordered, ctx)
+    if engine is None:
+        engine = BatchEngine(jobs=jobs, cache=cache, telemetry=telemetry,
+                             timeout=timeout, journal=journal,
+                             faults=faults,
+                             fail_fast=(policy == "fail_fast"))
+    elif (jobs is not None or cache is not None or telemetry is not None
+          or journal is not None or timeout is not None
+          or faults is not None):
+        raise ReproError(
+            "pass either a prebuilt engine or jobs=/cache=/telemetry=/"
+            "journal=/timeout=/faults=, not both")
+    outcomes = engine.run(batch)
+    results = ResultSet(outcomes)
+    report = FailureReport.from_outcomes(outcomes)
+
+    outputs: Dict[str, FigureOutput] = {}
+    for fig in ordered:
+        if all(results.ok(spec) for spec in per_figure[fig.name]):
+            outputs[fig.name] = fig.summarize(ctx, results)
+        else:
+            report.skipped_figures.append(fig.name)
+    return outputs, report
+
+
 def run_figures(
     figures: Union[Sequence[str], Sequence[Figure]],
     ctx: Optional[FigureContext] = None,
@@ -104,21 +260,12 @@ def run_figures(
     :func:`~repro.figures.registry.resolve_figures`).  ``jobs`` /
     ``cache`` / ``telemetry`` configure the shared engine (or pass a
     prebuilt ``engine``); a warm cache turns the whole batch into
-    lookups — a second identical run simulates nothing.
+    lookups — a second identical run simulates nothing.  Any failed
+    job raises; use :func:`run_figures_report` to degrade gracefully
+    instead.
     """
     ctx = ctx or FigureContext()
-    resolved: List[Figure] = []
-    names: List[str] = []
-    for entry in figures:
-        if isinstance(entry, Figure):
-            resolved.append(entry)
-        else:
-            names.append(entry)
-    if names:
-        resolved.extend(resolve_figures(names))
-    # De-duplicate while preserving a deterministic (sorted) order.
-    unique = {fig.name: fig for fig in resolved}
-    ordered = [unique[name] for name in sorted(unique)]
+    ordered = _resolve_figure_list(figures)
 
     batch, _per_figure = expand_jobs(ordered, ctx)
     if engine is None:

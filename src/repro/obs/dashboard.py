@@ -98,13 +98,16 @@ class BatchWatch:
             self.jobs.setdefault(job, "pending")
         elif kind == "started" and job:
             self.jobs[job] = "running"
-        elif kind in ("finished", "cached") and job:
+        elif kind in ("finished", "cached", "resumed") and job:
             self.jobs[job] = "done"
             self.cycles += int(record.get("cycles", 0))
             self.recent.append(record)
         elif kind == "failed" and job:
             self.jobs[job] = "failed"
             self.failures.append(record)
+            self.recent.append(record)
+        elif kind == "skipped" and job:
+            self.jobs[job] = "skipped"
             self.recent.append(record)
         elif kind == "batch_summary":
             self.batch_summary = record
@@ -118,7 +121,8 @@ class BatchWatch:
 
     # ------------------------------------------------------------------
     def _job_states(self) -> Dict[str, int]:
-        out = {"pending": 0, "running": 0, "done": 0, "failed": 0}
+        out = {"pending": 0, "running": 0, "done": 0, "failed": 0,
+               "skipped": 0}
         for state in self.jobs.values():
             out[state] += 1
         return out
@@ -132,7 +136,7 @@ class BatchWatch:
         """The numbers one frame renders (also the ``--json`` output)."""
         states = self._job_states()
         total = len(self.jobs)
-        done = states["done"] + states["failed"]
+        done = states["done"] + states["failed"] + states["skipped"]
         elapsed = 0.0
         if self.first_ts is not None and self.last_ts is not None:
             elapsed = self.last_ts - self.first_ts
@@ -140,14 +144,17 @@ class BatchWatch:
         remaining = states["pending"] + states["running"]
         eta = remaining / rate if rate > 0 else None
         cached = self.counts.get("cached", 0)
-        lookups = cached + self.counts.get("started", 0)
+        resumed = self.counts.get("resumed", 0)
+        lookups = cached + resumed + self.counts.get("started", 0)
         return {
             "jobs_total": total,
             "pending": states["pending"],
             "running": states["running"],
             "done": states["done"],
             "failed": states["failed"],
+            "skipped": states["skipped"],
             "cached": cached,
+            "resumed": resumed,
             "retried": self.counts.get("retried", 0),
             "elapsed_seconds": round(elapsed, 3),
             "jobs_per_second": round(rate, 3),
@@ -155,7 +162,8 @@ class BatchWatch:
             "simulated_cycles": self.cycles,
             "cycles_per_second": round(self.cycles / elapsed, 1)
             if elapsed > 0 else 0.0,
-            "cache_hit_rate": round(cached / lookups, 4) if lookups else 0.0,
+            "cache_hit_rate": round((cached + resumed) / lookups, 4)
+            if lookups else 0.0,
             "finished": self.finished,
         }
 
@@ -185,6 +193,8 @@ def render(watch: BatchWatch, clock: Optional[float] = None) -> str:
         (f"  jobs    : {snap['jobs_total']} total | "
          f"{snap['running']} running | {snap['done']} done | "
          f"{snap['failed']} failed | {snap['cached']} cached"
+         + (f" | {snap['resumed']} resumed" if snap["resumed"] else "")
+         + (f" | {snap['skipped']} skipped" if snap["skipped"] else "")
          + (f" | {snap['retried']} retried" if snap["retried"] else "")),
         (f"  progress: {_progress_bar(done, snap['jobs_total'])}"
          f"  ETA {eta}"),
@@ -196,10 +206,13 @@ def render(watch: BatchWatch, clock: Optional[float] = None) -> str:
     ]
     if watch.cache_stats:
         cs = watch.cache_stats
-        lines.append(
+        store = (
             f"  store   : {cs.get('entries', 0)} entries, "
             f"{cs.get('stores', 0)} stores, "
             f"{cs.get('evictions', 0)} evictions at {cs.get('dir', '?')}")
+        if cs.get("quarantined"):
+            store += f", {cs['quarantined']} quarantined"
+        lines.append(store)
     for record in watch.recent:
         verb = record.get("kind", "?")
         extra = ""

@@ -97,21 +97,30 @@ def aggregate(paths: Iterable) -> Dict[str, Any]:
 
 def format_report(report: Dict[str, Any]) -> str:
     """Human-readable report block."""
+    jobs_line = (f"  jobs    : {report['jobs_total']} total | "
+                 f"{report['done']} done | {report['failed']} failed | "
+                 f"{report['cached']} cached | "
+                 f"{report['retried']} retried")
+    if report.get("resumed"):
+        jobs_line += f" | {report['resumed']} resumed"
+    if report.get("skipped"):
+        jobs_line += f" | {report['skipped']} skipped"
     lines = [
         "observability report",
-        (f"  jobs    : {report['jobs_total']} total | "
-         f"{report['done']} done | {report['failed']} failed | "
-         f"{report['cached']} cached | {report['retried']} retried"),
+        jobs_line,
         (f"  cycles  : {report['simulated_cycles']:,} simulated over "
          f"{report['elapsed_seconds']:.3f}s wall"),
         f"  cache   : {report['cache_hit_rate'] * 100:.1f}% hit rate",
     ]
     if report.get("cache"):
         cs = report["cache"]
-        lines.append(
+        store = (
             f"  store   : {cs.get('entries', 0)} entries, "
             f"{cs.get('hits', 0)} hits, {cs.get('misses', 0)} misses, "
             f"{cs.get('evictions', 0)} evictions")
+        if cs.get("quarantined"):
+            store += f", {cs['quarantined']} quarantined"
+        lines.append(store)
     for failure in report.get("failures", []):
         lines.append(f"  FAILED  : {failure['label']}: {failure['error']}")
     for entry in report["files"]:

@@ -3,15 +3,21 @@
 The layer between "one simulation" (:mod:`repro.frontend`) and "a
 paper figure" (:mod:`repro.bench`): frozen job specifications with
 content hashes (:mod:`~repro.runtime.jobspec`), an on-disk
-content-addressed result cache (:mod:`~repro.runtime.cache`), a
-process-pool batch engine with crash retry and deterministic ordering
-(:mod:`~repro.runtime.engine`), and structured run telemetry with a
-JSONL sink (:mod:`~repro.runtime.telemetry`).
+content-addressed, self-healing result cache
+(:mod:`~repro.runtime.cache`), a process-pool batch engine with
+crash retry, backoff and fail-fast/keep-going policies
+(:mod:`~repro.runtime.engine`), an append-only run journal for
+resumable batches (:mod:`~repro.runtime.journal`), structured run
+telemetry with a crash-safe JSONL sink
+(:mod:`~repro.runtime.telemetry`), and a deterministic fault-injection
+harness that exercises all of the above
+(:mod:`~repro.runtime.faults`).
 
 Opt in from the bench harness with ``jobs=`` / ``cache=`` or the
 ``REPRO_JOBS`` environment variable; drive grids directly with
 ``python -m repro batch`` and inspect the store with
-``python -m repro cache``.
+``python -m repro cache``; interrupt any journaled run and continue it
+with ``--resume``.
 """
 
 from repro.runtime.jobspec import (
@@ -25,6 +31,7 @@ from repro.runtime.cache import (
     RunSummary,
     SCHEMA_VERSION,
     default_cache_dir,
+    summary_checksum,
     values_digest,
 )
 from repro.runtime.engine import (
@@ -34,6 +41,8 @@ from repro.runtime.engine import (
     resolve_jobs,
     run_specs,
 )
+from repro.runtime.faults import FaultPlan, FaultRule, get_active_plan
+from repro.runtime.journal import RunJournal, append_jsonl
 from repro.runtime.telemetry import RunEvent, Telemetry
 
 __all__ = [
@@ -45,12 +54,18 @@ __all__ = [
     "RunSummary",
     "SCHEMA_VERSION",
     "default_cache_dir",
+    "summary_checksum",
     "values_digest",
     "BatchEngine",
     "JobOutcome",
     "raise_on_failures",
     "resolve_jobs",
     "run_specs",
+    "FaultPlan",
+    "FaultRule",
+    "get_active_plan",
+    "RunJournal",
+    "append_jsonl",
     "RunEvent",
     "Telemetry",
 ]

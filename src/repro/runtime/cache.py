@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import time
 from dataclasses import dataclass
@@ -30,8 +31,13 @@ from repro.sim import SIMULATOR_VERSION
 from repro.sim.stats import KernelStats
 from repro.runtime.jobspec import JobSpec
 
-#: Bump when the entry file layout changes.
-SCHEMA_VERSION = 1
+log = logging.getLogger("repro.runtime.cache")
+
+#: Bump when the entry file layout changes (2: per-entry checksum).
+SCHEMA_VERSION = 2
+
+#: Subdirectory corrupt entries are moved into instead of deleted.
+QUARANTINE_DIR = "quarantine"
 
 
 def default_cache_dir() -> Path:
@@ -47,6 +53,15 @@ def values_digest(values: np.ndarray) -> str:
     return hashlib.sha256(
         np.ascontiguousarray(values).tobytes()
     ).hexdigest()
+
+
+def summary_checksum(summary_dict: Dict[str, Any]) -> str:
+    """Integrity checksum stored alongside (and verified against) the
+    summary payload of an entry, so bit rot, torn writes and hand
+    edits are detected instead of deserialized."""
+    raw = json.dumps(summary_dict, sort_keys=True,
+                     separators=(",", ":"))
+    return hashlib.sha256(raw.encode("utf-8")).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -114,11 +129,26 @@ class ResultCache:
       until the store fits (``bytes``);
     * ``ttl_seconds`` — entries older than the TTL are dropped on sweep
       or lookup (``ttl``).
+
+    Corrupt entries self-heal: a file that fails to decode, fails its
+    stored checksum, or is structurally wrong is *quarantined* (moved
+    to ``<cache>/quarantine/``) and counted as a miss — a bad cache
+    file can degrade a batch to a re-simulation, never crash it.
+    Entries from an older schema or simulator version are simply
+    dropped (expected churn, not corruption).
+
+    ``faults`` accepts a :class:`~repro.runtime.faults.FaultPlan`
+    whose ``torn``/``corrupt`` rules sabotage the Nth store, for
+    deterministic recovery tests; it defaults to the ``REPRO_FAULTS``
+    environment plan and is ``None`` (zero overhead) otherwise.
     """
 
     def __init__(self, cache_dir=None, max_entries: int = 4096,
                  max_bytes: Optional[int] = None,
-                 ttl_seconds: Optional[float] = None) -> None:
+                 ttl_seconds: Optional[float] = None,
+                 faults=None) -> None:
+        from repro.runtime.faults import get_active_plan
+
         self.dir = Path(cache_dir) if cache_dir else default_cache_dir()
         self.max_entries = max_entries
         self.max_bytes = max_bytes
@@ -127,9 +157,13 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        self.quarantined = 0
         self.evictions_by_reason: Dict[str, int] = {
             "capacity": 0, "bytes": 0, "ttl": 0,
         }
+        self._faults = faults if faults is not None else get_active_plan()
+        self._store_seq = 0
+        self._warned_quarantine = False
 
     # ------------------------------------------------------------------
     def _count_event(self, event: str) -> None:
@@ -149,6 +183,32 @@ class ResultCache:
         return (self.ttl_seconds is not None
                 and now - mtime > self.ttl_seconds)
 
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside (never raises; falls back to
+        deletion if the move itself fails)."""
+        dest_dir = self.dir / QUARANTINE_DIR
+        try:
+            dest_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, dest_dir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
+        self.quarantined += 1
+        get_registry().counter(
+            "result_cache_quarantined_total",
+            "Corrupt cache entries moved to quarantine"
+        ).inc(reason=reason)
+        # Warn once per cache instance; repeats go to debug so a batch
+        # over a mangled store does not spam one line per lookup.
+        if not self._warned_quarantine:
+            self._warned_quarantine = True
+            log.warning(
+                "quarantined corrupt result-cache entry %s (%s); "
+                "treated as a miss — see %s", path.name, reason,
+                dest_dir)
+        else:
+            log.debug("quarantined corrupt result-cache entry %s (%s)",
+                      path.name, reason)
+
     # ------------------------------------------------------------------
     def key(self, spec: JobSpec) -> str:
         """Cache key: spec hash layered with schema + simulator versions."""
@@ -161,27 +221,24 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def get(self, spec: JobSpec) -> Optional[RunSummary]:
-        """Look up a memoized summary; ``None`` (and a miss) otherwise."""
+        """Look up a memoized summary; ``None`` (and a miss) otherwise.
+
+        Never raises on a bad entry file: undecodable, truncated,
+        checksum-failing or structurally wrong entries are quarantined
+        and reported as misses; stale-version entries are dropped.
+        """
         path = self._path(self.key(spec))
-        if not path.exists():
-            self.misses += 1
-            self._count_event("miss")
-            return None
-        if self._expired(path.stat().st_mtime, time.time()):
-            self._evict(path, "ttl")
-            self.misses += 1
-            self._count_event("miss")
-            return None
+        summary = None
         try:
-            entry = json.loads(path.read_text())
-            if (entry.get("schema") != SCHEMA_VERSION
-                    or entry.get("simulator_version") != SIMULATOR_VERSION):
-                raise ValueError("stale cache entry version")
-            summary = RunSummary.from_dict(entry["summary"],
-                                           from_cache=True)
-        except (ValueError, KeyError, TypeError):
-            # Corrupt or stale entry: drop it and treat as a miss.
-            path.unlink(missing_ok=True)
+            stat = path.stat()
+        except OSError:
+            stat = None
+        if stat is not None:
+            if self._expired(stat.st_mtime, time.time()):
+                self._evict(path, "ttl")
+            else:
+                summary = self._load_entry(path)
+        if summary is None:
             self.misses += 1
             self._count_event("miss")
             return None
@@ -189,23 +246,70 @@ class ResultCache:
         self._count_event("hit")
         return summary
 
+    def _load_entry(self, path: Path) -> Optional[RunSummary]:
+        """Decode + verify one entry file; quarantine on corruption."""
+        try:
+            text = path.read_text()
+        except OSError:
+            return None  # raced with eviction, or unreadable: a miss
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError:
+            self._quarantine(path, "undecodable")
+            return None
+        if not isinstance(entry, dict):
+            self._quarantine(path, "malformed")
+            return None
+        if (entry.get("schema") != SCHEMA_VERSION
+                or entry.get("simulator_version") != SIMULATOR_VERSION):
+            # Expected churn after a version bump — drop, don't hoard.
+            path.unlink(missing_ok=True)
+            return None
+        try:
+            if entry["checksum"] != summary_checksum(entry["summary"]):
+                self._quarantine(path, "checksum")
+                return None
+            return RunSummary.from_dict(entry["summary"],
+                                        from_cache=True)
+        except (ValueError, KeyError, TypeError):
+            self._quarantine(path, "malformed")
+            return None
+
     def put(self, spec: JobSpec, summary: RunSummary) -> None:
         """Store a summary under the spec's content address."""
         self.dir.mkdir(parents=True, exist_ok=True)
         path = self._path(self.key(spec))
+        summary_dict = summary.to_dict()
         entry = {
             "schema": SCHEMA_VERSION,
             "simulator_version": SIMULATOR_VERSION,
             "spec": spec.to_dict(),
             "label": spec.label,
-            "summary": summary.to_dict(),
+            "summary": summary_dict,
+            "checksum": summary_checksum(summary_dict),
         }
+        text = json.dumps(entry, sort_keys=True, indent=1)
+        if self._faults is not None:
+            fault = self._faults.cache_fault(self._store_seq)
+            self._store_seq += 1
+            if fault is not None:
+                text = self._sabotage(text, fault)
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(entry, sort_keys=True, indent=1))
+        tmp.write_text(text)
         os.replace(tmp, path)
         self.stores += 1
         self._count_event("store")
         self._evict_overflow()
+
+    @staticmethod
+    def _sabotage(text: str, fault: str) -> str:
+        """Deterministically damage an entry body (fault injection)."""
+        if fault == "torn":  # writer died mid-write: truncated JSON
+            return text[:max(1, len(text) // 2)]
+        # "corrupt": complete file, garbled interior (fails checksum
+        # or decode depending on where the damage lands).
+        mid = len(text) // 2
+        return text[:mid] + "\x00###\x00" + text[mid + 5:]
 
     def _evict_overflow(self) -> None:
         """Apply TTL, byte-budget and entry-count policies, in order."""
@@ -258,6 +362,13 @@ class ResultCache:
                 continue
         return total
 
+    def quarantined_entries(self) -> int:
+        """Number of files currently sitting in quarantine."""
+        dest = self.dir / QUARANTINE_DIR
+        if not dest.exists():
+            return 0
+        return sum(1 for _ in dest.glob("*.json"))
+
     def stats(self) -> Dict[str, Any]:
         """Counter snapshot for telemetry and the CLI."""
         return {
@@ -268,6 +379,8 @@ class ResultCache:
             "misses": self.misses,
             "stores": self.stores,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
+            "quarantined_entries": self.quarantined_entries(),
             "evictions_by_reason": dict(self.evictions_by_reason),
             "max_entries": self.max_entries,
             "max_bytes": self.max_bytes,
@@ -277,10 +390,14 @@ class ResultCache:
         }
 
     def clear(self) -> int:
-        """Delete every entry; returns how many were removed."""
+        """Delete every entry (and quarantined file); returns how many
+        were removed."""
         removed = 0
         if self.dir.exists():
             for path in self.dir.glob("*.json"):
+                path.unlink(missing_ok=True)
+                removed += 1
+            for path in (self.dir / QUARANTINE_DIR).glob("*.json"):
                 path.unlink(missing_ok=True)
                 removed += 1
         return removed

@@ -2,21 +2,31 @@
 
 The engine fans a list of specs across a ``ProcessPoolExecutor``:
 
-* cache lookups happen first, so warm batches never touch a worker;
+* journal lookups happen first (``--resume``), then cache lookups, so
+  an interrupted batch restarts without re-simulating anything it
+  already finished and warm batches never touch a worker;
 * each miss is pickled to a worker that rebuilds the algorithm/graph
   from the spec and returns a :class:`RunSummary` dict;
-* a job whose *worker process dies* (crash, OOM-kill) is retried once
-  on a fresh pool before a structured failure is recorded — a job that
-  raises a normal exception fails immediately (deterministic errors
-  don't deserve a second simulation);
+* *transient* failures — a worker process dying (crash, OOM-kill) or
+  a :class:`~repro.errors.TransientError` raised in the job — are
+  retried on a fresh pool with exponential backoff, bounded by the
+  per-job ``retries`` count and an optional per-batch
+  ``retry_budget``; deterministic exceptions fail immediately (they
+  would only reproduce themselves);
 * an optional per-job timeout turns an unresponsive job into a
   structured failure instead of hanging the batch;
+* ``fail_fast=True`` stops scheduling after the first failure and
+  marks the rest of the batch ``"skipped"``; the default keeps going
+  and returns every failure structurally;
 * results come back in submission order regardless of completion
   order, so parallel grids are drop-in equal to serial ones.
 
 ``jobs=1`` (the default, also via ``REPRO_JOBS``) executes serially
 in-process — no pool, no pickling — which is what the benchmark suite
-and tier-1 tests use.
+and tier-1 tests use.  Fault injection (:mod:`repro.runtime.faults`)
+hooks both paths so every recovery branch above is exercisable
+deterministically; with ``REPRO_FAULTS`` unset the hooks are skipped
+entirely.
 """
 
 from __future__ import annotations
@@ -29,10 +39,12 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ConfigError, ReproError
+from repro.errors import ConfigError, ReproError, TransientError
 from repro.obs.metrics import get_registry
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.runtime.cache import ResultCache, RunSummary
+from repro.runtime.faults import (apply_serial_fault, apply_worker_fault,
+                                  get_active_plan)
 from repro.runtime.jobspec import JobSpec
 from repro.runtime.telemetry import Telemetry
 
@@ -63,17 +75,21 @@ def _execute_spec(spec: JobSpec) -> Dict[str, Any]:
     return RunSummary.from_run_result(result).to_dict()
 
 
-def _pool_execute(spec: JobSpec) -> Dict[str, Any]:
+def _pool_execute(spec: JobSpec, fault=None) -> Dict[str, Any]:
     """Process-pool entry point: execute, then ship worker metrics.
 
-    Attaches the worker registry's snapshot under ``"_metrics"`` and
-    clears it, so the parent can fold worker-side metrics — kernel
-    counters, phase and stall cycles — into its own registry.  Only the
-    pool path ships: on the serial path the job already accumulates
-    into the parent registry directly, and a snapshot+clear would wipe
-    unrelated counters.  Dispatches through the module global so tests
-    can monkeypatch ``_execute_spec`` for both paths.
+    ``fault`` is the parent-decided fault directive for this attempt
+    (``None`` on the default path); applying it may kill the worker,
+    hang, or raise before the job runs.  Attaches the worker
+    registry's snapshot under ``"_metrics"`` and clears it, so the
+    parent can fold worker-side metrics — kernel counters, phase and
+    stall cycles — into its own registry.  Only the pool path ships:
+    on the serial path the job already accumulates into the parent
+    registry directly, and a snapshot+clear would wipe unrelated
+    counters.  Dispatches through the module global so tests can
+    monkeypatch ``_execute_spec`` for both paths.
     """
+    apply_worker_fault(fault)
     out = _execute_spec(spec)
     registry = get_registry()
     if registry.enabled:
@@ -93,10 +109,16 @@ def _absorb_metrics(data: Dict[str, Any]) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 @dataclass
 class JobOutcome:
-    """Structured result of one engine job."""
+    """Structured result of one engine job.
+
+    ``status`` is ``"ok"`` (simulated), ``"cached"`` (result cache
+    hit), ``"resumed"`` (restored from a run journal), ``"failed"``
+    (structured failure, see ``error``) or ``"skipped"`` (abandoned
+    after an earlier failure under ``fail_fast``).
+    """
 
     spec: JobSpec
-    status: str  # "ok" | "cached" | "failed"
+    status: str  # "ok" | "cached" | "resumed" | "failed" | "skipped"
     summary: Optional[RunSummary] = None
     error: Optional[str] = None
     attempts: int = 0
@@ -105,11 +127,11 @@ class JobOutcome:
     @property
     def ok(self) -> bool:
         """Whether a usable summary is attached."""
-        return self.status in ("ok", "cached")
+        return self.status in ("ok", "cached", "resumed")
 
 
 class BatchEngine:
-    """Schedule, parallelize, cache and observe a batch of jobs."""
+    """Schedule, parallelize, cache, journal and observe a batch."""
 
     def __init__(
         self,
@@ -119,17 +141,40 @@ class BatchEngine:
         timeout: Optional[float] = None,
         retries: int = 1,
         tracer: Optional[Tracer] = None,
+        journal=None,
+        faults=None,
+        fail_fast: bool = False,
+        retry_budget: Optional[int] = None,
+        backoff_base: float = 0.05,
+        backoff_max: float = 2.0,
     ) -> None:
         """``timeout`` is per-job wall seconds (None = unbounded);
-        ``retries`` counts extra attempts after a worker crash;
-        ``tracer`` records one span per job lifecycle (submit to
-        completion) for Chrome trace export."""
+        ``retries`` counts extra attempts per job after a transient
+        failure and ``retry_budget`` bounds total retries across the
+        batch (None = unbounded); retries back off exponentially from
+        ``backoff_base`` seconds, capped at ``backoff_max``.
+        ``journal`` is a :class:`~repro.runtime.journal.RunJournal`:
+        already-journaled specs are restored (status ``"resumed"``)
+        and new completions are appended as they happen, making the
+        batch resumable after an interrupt.  ``faults`` overrides the
+        ``REPRO_FAULTS`` fault-injection plan (``None`` = resolve from
+        the environment; unset = no hooks).  ``fail_fast`` stops
+        scheduling after the first failure and marks the remainder
+        ``"skipped"``.  ``tracer`` records one span per job lifecycle
+        for Chrome trace export."""
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
         self.timeout = timeout
         self.retries = max(0, retries)
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.journal = journal
+        self.faults = faults if faults is not None else get_active_plan()
+        self.fail_fast = fail_fast
+        self.retry_budget = retry_budget
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._budget_left = retry_budget
 
     # ------------------------------------------------------------------
     def _job_done(self, status: str, wall: float) -> None:
@@ -137,7 +182,7 @@ class BatchEngine:
         registry = get_registry()
         registry.counter("engine_jobs_total",
                          "Engine jobs by final status").inc(status=status)
-        if status != "cached":  # cached jobs never entered the gauge
+        if status in ("ok", "failed"):  # others never entered the gauge
             registry.gauge("engine_jobs_in_flight",
                            "Jobs started but not finished").inc(-1)
             registry.histogram("engine_job_wall_seconds",
@@ -154,6 +199,14 @@ class BatchEngine:
         pending: List[Tuple[int, JobSpec]] = []
         for idx, spec in enumerate(specs):
             self.telemetry.emit("submitted", spec)
+            if self.journal is not None:
+                summary = self.journal.summary_for(spec)
+                if summary is not None:
+                    outcomes[idx] = JobOutcome(spec, "resumed", summary)
+                    self.telemetry.emit("resumed", spec,
+                                        cycles=summary.total_cycles)
+                    self._job_done("resumed", 0.0)
+                    continue
             if self.cache is not None:
                 summary = self.cache.get(spec)
                 if summary is not None:
@@ -161,6 +214,8 @@ class BatchEngine:
                     self.telemetry.emit("cached", spec,
                                         cycles=summary.total_cycles)
                     self._job_done("cached", 0.0)
+                    if self.journal is not None:
+                        self.journal.record(spec, summary)
                     continue
             pending.append((idx, spec))
 
@@ -179,6 +234,8 @@ class BatchEngine:
                         outcomes: Dict[int, JobOutcome]) -> None:
         if self.cache is not None:
             self.cache.put(spec, summary)
+        if self.journal is not None:
+            self.journal.record(spec, summary)
         outcomes[idx] = JobOutcome(spec, "ok", summary, None, attempts,
                                    wall)
         self.telemetry.emit("finished", spec,
@@ -194,32 +251,118 @@ class BatchEngine:
         self.telemetry.emit("failed", spec, error=error, attempt=attempts)
         self._job_done("failed", wall)
 
-    def _run_serial(self, pending, outcomes) -> None:
-        for idx, spec in pending:
-            self.telemetry.emit("started", spec, attempt=1)
-            self._job_started()
-            start = time.perf_counter()
-            with self.tracer.span(f"job:{spec.label}", cat="job",
-                                  tid="engine") as span:
-                try:
-                    summary = RunSummary.from_dict(_execute_spec(spec))
-                except Exception as exc:  # noqa: BLE001 - structured
-                    span.args["status"] = "failed"
-                    self._record_failure(
-                        idx, spec, f"{type(exc).__name__}: {exc}", 1,
-                        time.perf_counter() - start, outcomes)
-                    continue
-                span.args["status"] = "ok"
-                span.args["cycles"] = summary.total_cycles
-                self._record_success(idx, spec, summary, 1,
-                                     time.perf_counter() - start,
-                                     outcomes)
+    def _record_skipped(self, idx: int, spec: JobSpec,
+                        outcomes: Dict[int, JobOutcome]) -> None:
+        outcomes[idx] = JobOutcome(
+            spec, "skipped", None,
+            "skipped after an earlier failure (fail_fast)", 0, 0.0)
+        self.telemetry.emit("skipped", spec)
+        self._job_done("skipped", 0.0)
 
+    # ------------------------------------------------------------------
+    def _backoff_delay(self, attempt: int) -> float:
+        """Exponential backoff before retry ``attempt + 1``."""
+        if self.backoff_base <= 0:
+            return 0.0
+        return min(self.backoff_max,
+                   self.backoff_base * (2.0 ** (attempt - 1)))
+
+    def _take_retry(self, attempt: int) -> bool:
+        """Whether another attempt is allowed (per-job and per-batch)."""
+        if attempt > self.retries:
+            return False
+        if self._budget_left is not None:
+            if self._budget_left <= 0:
+                return False
+            self._budget_left -= 1
+        return True
+
+    def _note_retry(self, spec: JobSpec, attempt: int,
+                    reason: str) -> None:
+        """Telemetry + metrics for one granted retry."""
+        self.telemetry.emit("retried", spec, attempt=attempt + 1,
+                            reason=reason)
+        registry = get_registry()
+        registry.counter(
+            "engine_retries_total",
+            "Jobs requeued after a transient failure"
+        ).inc(reason=reason)
+        # The retry re-enters the gauge when its fresh attempt starts.
+        registry.gauge("engine_jobs_in_flight",
+                       "Jobs started but not finished").inc(-1)
+
+    def _sleep_backoff(self, attempt: int) -> None:
+        delay = self._backoff_delay(attempt)
+        if delay <= 0:
+            return
+        self.telemetry.emit("backoff", None, seconds=round(delay, 6))
+        get_registry().counter(
+            "engine_backoff_seconds_total",
+            "Seconds slept backing off before retries").inc(delay)
+        time.sleep(delay)
+
+    # ------------------------------------------------------------------
+    def _run_serial(self, pending, outcomes) -> None:
+        abort = False
+        for idx, spec in pending:
+            if abort:
+                self._record_skipped(idx, spec, outcomes)
+                continue
+            attempt = 1
+            while True:
+                self.telemetry.emit("started", spec, attempt=attempt)
+                self._job_started()
+                start = time.perf_counter()
+                with self.tracer.span(f"job:{spec.label}", cat="job",
+                                      tid="engine") as span:
+                    try:
+                        if self.faults is not None:
+                            apply_serial_fault(
+                                self.faults.worker_fault(idx, attempt))
+                        summary = RunSummary.from_dict(_execute_spec(spec))
+                    except TransientError as exc:
+                        if self._take_retry(attempt):
+                            span.args["status"] = "retried"
+                            self._note_retry(spec, attempt, "transient")
+                            self._sleep_backoff(attempt)
+                            attempt += 1
+                            continue
+                        span.args["status"] = "failed"
+                        self._record_failure(
+                            idx, spec, f"{type(exc).__name__}: {exc}",
+                            attempt, time.perf_counter() - start,
+                            outcomes)
+                        abort = self.fail_fast
+                        break
+                    except Exception as exc:  # noqa: BLE001 - structured
+                        span.args["status"] = "failed"
+                        self._record_failure(
+                            idx, spec, f"{type(exc).__name__}: {exc}",
+                            attempt, time.perf_counter() - start,
+                            outcomes)
+                        abort = self.fail_fast
+                        break
+                    span.args["status"] = "ok"
+                    span.args["cycles"] = summary.total_cycles
+                    self._record_success(idx, spec, summary, attempt,
+                                         time.perf_counter() - start,
+                                         outcomes)
+                    break
+
+    # ------------------------------------------------------------------
     def _run_parallel(self, pending, outcomes) -> None:
         queue: List[Tuple[int, JobSpec, int]] = [
             (idx, spec, 1) for idx, spec in pending
         ]
-        while queue:
+        round_no = 0
+        abort = False
+        while queue and not abort:
+            round_no += 1
+            if round_no > 1:
+                # Everything queued here is a transient retry; back
+                # off once per round, scaled by how many rounds the
+                # batch has already burned.
+                self._sleep_backoff(round_no - 1)
             batch, queue = queue, []
             pool = ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(batch))
@@ -229,12 +372,20 @@ class BatchEngine:
                 for idx, spec, attempt in batch:
                     self.telemetry.emit("started", spec, attempt=attempt)
                     self._job_started()
+                    fault = (self.faults.worker_fault(idx, attempt)
+                             if self.faults is not None else None)
                     futures.append(
                         (idx, spec, attempt, time.perf_counter(),
-                         pool.submit(_pool_execute, spec))
+                         pool.submit(_pool_execute, spec, fault))
                     )
                 for idx, spec, attempt, start, future in futures:
-                    wall = None
+                    if abort:
+                        future.cancel()
+                        get_registry().gauge(
+                            "engine_jobs_in_flight",
+                            "Jobs started but not finished").inc(-1)
+                        self._record_skipped(idx, spec, outcomes)
+                        continue
                     try:
                         data = _absorb_metrics(
                             future.result(timeout=self.timeout))
@@ -252,29 +403,32 @@ class BatchEngine:
                             idx, spec,
                             f"timed out after {self.timeout}s", attempt,
                             time.perf_counter() - start, outcomes)
+                        abort = abort or self.fail_fast
                     except BrokenProcessPool:
-                        # The worker process died. Give the job another
-                        # chance on a fresh pool; siblings caught in the
-                        # same pool collapse are requeued for free.
-                        if attempt <= self.retries:
-                            self.telemetry.emit("retried", spec,
-                                                attempt=attempt + 1)
-                            registry = get_registry()
-                            registry.counter(
-                                "engine_retries_total",
-                                "Jobs requeued after a worker crash"
-                            ).inc()
-                            # The retry re-enters the gauge when its
-                            # fresh attempt starts.
-                            registry.gauge(
-                                "engine_jobs_in_flight",
-                                "Jobs started but not finished").inc(-1)
+                        # The worker process died.  Retry on a fresh
+                        # pool; siblings caught in the same pool
+                        # collapse are requeued for free.
+                        if self._take_retry(attempt):
+                            self._note_retry(spec, attempt, "crash")
                             queue.append((idx, spec, attempt + 1))
                         else:
                             self._record_failure(
                                 idx, spec,
                                 "worker process crashed", attempt,
                                 time.perf_counter() - start, outcomes)
+                            abort = abort or self.fail_fast
+                    except TransientError as exc:
+                        # Raised inside the worker and pickled back,
+                        # but explicitly marked worth retrying.
+                        if self._take_retry(attempt):
+                            self._note_retry(spec, attempt, "transient")
+                            queue.append((idx, spec, attempt + 1))
+                        else:
+                            self._record_failure(
+                                idx, spec,
+                                f"{type(exc).__name__}: {exc}", attempt,
+                                time.perf_counter() - start, outcomes)
+                            abort = abort or self.fail_fast
                     except Exception as exc:  # noqa: BLE001
                         # Raised *inside* the worker and pickled back:
                         # deterministic, so fail without a retry.
@@ -282,8 +436,12 @@ class BatchEngine:
                             idx, spec, f"{type(exc).__name__}: {exc}",
                             attempt, time.perf_counter() - start,
                             outcomes)
+                        abort = abort or self.fail_fast
             finally:
                 pool.shutdown(wait=False, cancel_futures=True)
+        # A fail-fast abort abandons anything still queued for retry.
+        for idx, spec, _attempt in queue:
+            self._record_skipped(idx, spec, outcomes)
 
 
 # ----------------------------------------------------------------------

@@ -1,13 +1,19 @@
 """Structured run telemetry.
 
 Every job moving through the batch engine emits events —
-``submitted`` / ``started`` / ``cached`` / ``finished`` / ``failed`` /
-``retried`` — carrying the job's short content hash, its label, a wall
-timestamp and free-form payload (cycles, wall seconds, attempt
-number).  Events accumulate in memory and, when a sink path is given,
-stream to a JSONL file one object per line; :meth:`Telemetry.summary`
-folds them into the batch-end report (job counts, wall time, simulated
-cycles, cache counters).
+``submitted`` / ``started`` / ``cached`` / ``resumed`` / ``finished``
+/ ``failed`` / ``retried`` / ``backoff`` — carrying the job's short
+content hash, its label, a wall timestamp and free-form payload
+(cycles, wall seconds, attempt number).  Events accumulate in memory
+and, when a sink path is given, stream to a JSONL file one object per
+line; :meth:`Telemetry.summary` folds them into the batch-end report
+(job counts, wall time, simulated cycles, cache counters).
+
+Sink appends are *crash-safe*: each line goes out as one unbuffered
+``os.write`` on an ``O_APPEND`` descriptor
+(:func:`~repro.runtime.journal.append_jsonl`), so a worker or driver
+killed at any instant never leaves a torn half-line for a follower
+(:class:`~repro.obs.dashboard.JSONLFollower`) to buffer forever.
 
 Every emit also counts into the process metrics registry
 (``telemetry_events_total{kind=...}``,
@@ -19,13 +25,13 @@ is enabled.
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import get_registry
+from repro.runtime.journal import append_jsonl
 
 
 @dataclass
@@ -51,12 +57,22 @@ class RunEvent:
 
 
 class Telemetry:
-    """Event collector with an optional JSONL sink."""
+    """Event collector with an optional JSONL sink.
 
-    def __init__(self, path=None) -> None:
+    ``faults`` accepts a :class:`~repro.runtime.faults.FaultPlan`
+    whose ``slow_io`` rules stall the Nth sink append; it defaults to
+    the ``REPRO_FAULTS`` environment plan and is ``None`` (zero
+    overhead) otherwise.
+    """
+
+    def __init__(self, path=None, faults=None) -> None:
+        from repro.runtime.faults import get_active_plan
+
         self.path = Path(path) if path else None
         self.events: List[RunEvent] = []
         self.counts: Dict[str, int] = {}
+        self._faults = faults if faults is not None else get_active_plan()
+        self._append_seq = 0
         if self.path:
             self.path.parent.mkdir(parents=True, exist_ok=True)
 
@@ -75,15 +91,18 @@ class Telemetry:
         registry = get_registry()
         registry.counter("telemetry_events_total",
                          "Run telemetry events by kind").inc(kind=kind)
-        if kind in ("finished", "cached") and "cycles" in payload:
+        if kind in ("finished", "cached", "resumed") and "cycles" in payload:
             registry.counter(
                 "engine_simulated_cycles_total",
                 "Simulated cycles of completed jobs"
             ).inc(payload["cycles"], source=kind)
         if self.path:
-            with self.path.open("a") as sink:
-                sink.write(json.dumps(event.to_dict(),
-                                      sort_keys=True) + "\n")
+            if self._faults is not None:
+                delay = self._faults.io_fault(self._append_seq)
+                self._append_seq += 1
+                if delay:
+                    time.sleep(delay)
+            append_jsonl(self.path, event.to_dict())
         return event
 
     def count(self, kind: str) -> int:
@@ -95,7 +114,8 @@ class Telemetry:
         """Batch-end rollup of everything emitted so far."""
         cycles = sum(
             e.payload.get("cycles", 0)
-            for e in self.events if e.kind in ("finished", "cached")
+            for e in self.events
+            if e.kind in ("finished", "cached", "resumed")
         )
         wall = 0.0
         if self.events:
@@ -106,9 +126,11 @@ class Telemetry:
             "submitted": self.count("submitted"),
             "started": self.count("started"),
             "cached": self.count("cached"),
+            "resumed": self.count("resumed"),
             "finished": self.count("finished"),
             "failed": self.count("failed"),
             "retried": self.count("retried"),
+            "backoffs": self.count("backoff"),
             "simulated_cycles": cycles,
             "wall_seconds": round(wall, 6),
         }
@@ -119,21 +141,29 @@ class Telemetry:
     def format_summary(self, cache=None) -> str:
         """Human-readable batch summary block."""
         data = self.summary(cache=cache)
+        jobs_line = (f"  jobs: {data['submitted']} submitted, "
+                     f"{data['started']} simulated, "
+                     f"{data['cached']} cached, "
+                     f"{data['failed']} failed, "
+                     f"{data['retried']} retried")
+        if data["resumed"]:
+            jobs_line += f", {data['resumed']} resumed"
         lines = [
             "batch summary:",
-            (f"  jobs: {data['submitted']} submitted, "
-             f"{data['started']} simulated, {data['cached']} cached, "
-             f"{data['failed']} failed, {data['retried']} retried"),
+            jobs_line,
             f"  simulated cycles: {data['simulated_cycles']:,}",
             f"  wall seconds: {data['wall_seconds']:.3f}",
         ]
         if "cache" in data:
             cs = data["cache"]
-            lines.append(
+            cache_line = (
                 f"  cache: {cs['hits']} hits, {cs['misses']} misses, "
                 f"{cs['stores']} stores, {cs['evictions']} evictions, "
                 f"{cs['entries']} entries at {cs['dir']}"
             )
+            if cs.get("quarantined"):
+                cache_line += f", {cs['quarantined']} quarantined"
+            lines.append(cache_line)
         return "\n".join(lines)
 
     def emit_batch_summary(self, cache=None) -> RunEvent:

@@ -276,3 +276,41 @@ def test_cli_bench_list(capsys):
     printed = capsys.readouterr().out
     assert "fig10_pagerank" in printed
     assert "table5" in printed
+
+
+def test_run_figures_report_degrades_gracefully(tmp_path):
+    """One poisoned job skips its figure, not the whole batch."""
+    from repro.figures import run_figures_report
+    from repro.runtime import FaultPlan
+
+    outputs, report = run_figures_report(
+        ["table1", "fig13"], SMOKE, jobs=1,
+        faults=FaultPlan.parse("fatal~1.0"))
+    assert report.total_jobs > 0
+    assert not report.ok
+    assert "fig13" in report.skipped_figures
+    assert "table1" in outputs  # zero-job figure still summarizes
+    assert "fatal" in report.format()
+
+    clean_outputs, clean_report = run_figures_report(
+        ["table1", "fig13"], SMOKE, jobs=1)
+    assert clean_report.ok
+    assert sorted(clean_outputs) == ["fig13", "table1"]
+
+
+def test_run_figures_report_rejects_engine_plus_opts():
+    from repro.figures import run_figures_report
+    from repro.runtime import BatchEngine, RunJournal
+
+    with pytest.raises(ReproError):
+        run_figures_report(["table1"], SMOKE,
+                           journal=RunJournal("unused.jsonl"),
+                           engine=BatchEngine(jobs=1))
+
+
+def test_run_figures_report_rejects_unknown_policy():
+    from repro.errors import ConfigError
+    from repro.figures import run_figures_report
+
+    with pytest.raises(ConfigError):
+        run_figures_report(["table1"], SMOKE, policy="retry_forever")

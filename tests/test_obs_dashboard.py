@@ -214,3 +214,97 @@ def test_cli_report(capsys, tmp_path):
     code, out = run_cli(capsys, "report", str(path), "--json")
     assert code == 0
     assert json.loads(out)["done"] == 2
+
+
+# ---------------------------------------------------- resumed/skipped
+RESUME_TELEMETRY = [
+    {"kind": "submitted", "job": "aaa", "label": "pr/g/vm", "time": 10.0},
+    {"kind": "submitted", "job": "bbb", "label": "pr/g/wm", "time": 10.0},
+    {"kind": "submitted", "job": "ccc", "label": "pr/g/sw", "time": 10.0},
+    {"kind": "resumed", "job": "aaa", "label": "pr/g/vm", "time": 10.1,
+     "cycles": 700},
+    {"kind": "started", "job": "bbb", "label": "pr/g/wm", "time": 10.2},
+    {"kind": "failed", "job": "bbb", "label": "pr/g/wm", "time": 10.5,
+     "error": "FatalError: injected"},
+    {"kind": "skipped", "job": "ccc", "label": "pr/g/sw", "time": 10.5},
+    {"kind": "batch_summary", "time": 10.6,
+     "cache": {"entries": 1, "hits": 0, "misses": 1, "stores": 1,
+               "evictions": 0, "quarantined": 2, "dir": "/tmp/c"}},
+]
+
+
+def test_batchwatch_counts_resumed_and_skipped():
+    watch = BatchWatch()
+    watch.update_all(RESUME_TELEMETRY)
+    snap = watch.snapshot()
+    assert snap["jobs_total"] == 3
+    assert snap["done"] == 1  # the resumed job is terminal
+    assert snap["resumed"] == 1
+    assert snap["skipped"] == 1
+    assert snap["failed"] == 1
+    assert snap["simulated_cycles"] == 700
+    # Resumed jobs count as hits: 1 resumed vs 1 started.
+    assert snap["cache_hit_rate"] == pytest.approx(0.5, abs=1e-4)
+
+
+def test_render_shows_resumed_skipped_quarantined():
+    watch = BatchWatch()
+    watch.update_all(RESUME_TELEMETRY)
+    frame = render(watch, clock=0.0)
+    assert "1 resumed" in frame
+    assert "1 skipped" in frame
+    assert "2 quarantined" in frame
+
+
+def test_report_shows_resumed_and_quarantined(tmp_path):
+    path = tmp_path / "events.jsonl"
+    write_jsonl(path, RESUME_TELEMETRY)
+    report = aggregate([path])
+    assert report["resumed"] == 1
+    assert report["skipped"] == 1
+    text = format_report(report)
+    assert "1 resumed" in text
+    assert "2 quarantined" in text
+
+
+# ------------------------------------------------- crash-safe appends
+def test_killed_writer_never_leaves_a_torn_line(tmp_path):
+    """Regression: SIGKILL a process mid-stream; every line in the
+    sink must still parse (single-write O_APPEND emission)."""
+    import os
+    import signal
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    path = tmp_path / "events.jsonl"
+    repo_root = Path(__file__).resolve().parents[1]
+    child = subprocess.Popen(
+        [sys.executable, "-c", (
+            "import sys\n"
+            "from repro.runtime.telemetry import Telemetry\n"
+            "t = Telemetry(sys.argv[1])\n"
+            "i = 0\n"
+            "while True:\n"
+            "    t.emit('started', None, seq=i, pad='x' * 200)\n"
+            "    i += 1\n"
+        ), str(path)],
+        env=dict(os.environ, PYTHONPATH=str(repo_root / "src")),
+    )
+    try:
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if path.exists() and path.stat().st_size > 20_000:
+                break
+            time.sleep(0.01)
+        assert path.exists() and path.stat().st_size > 0
+    finally:
+        child.kill()  # SIGKILL: no cleanup, no flush handlers
+        child.wait(timeout=60)
+
+    follower = JSONLFollower(path)
+    records = follower.poll()
+    assert follower.bad_lines == 0  # no torn lines, ever
+    assert records
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    assert path.read_text().endswith("\n")

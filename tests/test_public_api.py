@@ -134,3 +134,19 @@ def test_run_schedule_comparison_keyword_only_tail():
     with pytest.raises(TypeError):
         runner.run_schedule_comparison(
             alg, {"g": graph}, ["vertex_map"], cfg, 1, False, "extra")
+
+
+def test_robustness_facade_stable():
+    """The fault-tolerance surface stays importable from repro."""
+    from repro import (FailureReport, FatalError, FaultPlan, RunJournal,
+                      TransientError, run_figures_report)
+    from repro.runtime import append_jsonl, get_active_plan
+
+    assert callable(run_figures_report)
+    assert callable(append_jsonl)
+    assert callable(get_active_plan)
+    assert issubclass(TransientError, Exception)
+    assert issubclass(FatalError, Exception)
+    for name in ("FaultPlan", "RunJournal", "FailureReport",
+                 "TransientError", "FatalError", "run_figures_report"):
+        assert name in repro.__all__, name

@@ -199,3 +199,87 @@ def test_stall_cells_survive_cache_round_trip(tmp_path, spec, summary):
     assert dict(hit.stats.stall_cells) == dict(summary.stats.stall_cells)
     assert hit.stats.stall_cells_total() == (
         summary.stats.stall_cells_total())
+
+
+# --------------------------------------------------------- self-healing
+def test_truncated_entry_is_quarantined_not_fatal(tmp_path, spec,
+                                                  summary):
+    cache = ResultCache(tmp_path)
+    cache.put(spec, summary)
+    path = cache._path(cache.key(spec))
+    path.write_text(path.read_text()[:40])  # torn mid-write
+    assert cache.get(spec) is None
+    assert cache.quarantined == 1
+    assert cache.quarantined_entries() == 1
+    assert not path.exists()
+    stats = cache.stats()
+    assert stats["quarantined"] == 1
+    assert stats["quarantined_entries"] == 1
+
+
+def test_checksum_mismatch_is_quarantined(tmp_path, spec, summary):
+    cache = ResultCache(tmp_path)
+    cache.put(spec, summary)
+    path = cache._path(cache.key(spec))
+    entry = json.loads(path.read_text())
+    entry["summary"]["total_cycles"] += 1  # silent bit-flip
+    path.write_text(json.dumps(entry))
+    assert cache.get(spec) is None  # checksum catches the tamper
+    assert cache.quarantined == 1
+    assert cache.quarantined_entries() == 1
+
+
+def test_structurally_wrong_entry_is_quarantined(tmp_path, spec,
+                                                 summary):
+    cache = ResultCache(tmp_path)
+    cache.put(spec, summary)
+    path = cache._path(cache.key(spec))
+    path.write_text(json.dumps([1, 2, 3]))  # valid JSON, wrong shape
+    assert cache.get(spec) is None
+    assert cache.quarantined == 1
+
+
+def test_quarantine_warns_once_then_goes_quiet(tmp_path, summary,
+                                               caplog):
+    import logging
+
+    cache = ResultCache(tmp_path)
+    specs = _seeded_specs(3)
+    for s in specs:
+        cache.put(s, summary)
+        cache._path(cache.key(s)).write_text("{ not json")
+    with caplog.at_level(logging.WARNING, logger="repro.runtime.cache"):
+        for s in specs:
+            assert cache.get(s) is None
+    warnings = [r for r in caplog.records
+                if r.levelno == logging.WARNING]
+    assert len(warnings) == 1  # one warning, not one per lookup
+    assert cache.quarantined == 3
+
+
+def test_quarantine_counts_reach_registry(tmp_path, spec, summary):
+    from repro.obs.metrics import get_registry
+
+    registry = get_registry()
+    was_enabled, registry.enabled = registry.enabled, True
+    registry.clear()
+    try:
+        cache = ResultCache(tmp_path)
+        cache.put(spec, summary)
+        cache._path(cache.key(spec)).write_text("garbage")
+        cache.get(spec)
+        counter = registry.get("result_cache_quarantined_total")
+        assert counter.value(reason="undecodable") == 1
+    finally:
+        registry.clear()
+        registry.enabled = was_enabled
+
+
+def test_clear_also_removes_quarantine(tmp_path, spec, summary):
+    cache = ResultCache(tmp_path)
+    cache.put(spec, summary)
+    cache._path(cache.key(spec)).write_text("garbage")
+    assert cache.get(spec) is None
+    assert cache.quarantined_entries() == 1
+    assert cache.clear() == 1  # the quarantined file
+    assert cache.quarantined_entries() == 0

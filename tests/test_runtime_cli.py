@@ -83,3 +83,118 @@ def test_cache_stats_and_clear(capsys, tmp_path):
                         str(cache_dir))
     assert code == 0
     assert "entries: 0" in out
+
+
+# ------------------------------------------------ robustness flags
+def test_batch_failure_exits_nonzero_with_stderr_table(capsys,
+                                                       tmp_path):
+    code = main(["batch", "--datasets", "bio-human", "--schedules",
+                 "vertex_map", "sparseweaver", "--scale", "0.2",
+                 "--iterations", "1", "--no-cache",
+                 "--faults", "fatal@0"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "did not complete" in captured.err
+    assert "injected fatal" in captured.err
+    assert "1 failed" in captured.out  # summary still printed
+
+
+def test_batch_fail_fast_skips_and_reports(capsys, tmp_path):
+    code = main(["batch", "--datasets", "bio-human", "--schedules",
+                 "vertex_map", "sparseweaver", "--scale", "0.2",
+                 "--iterations", "1", "--no-cache", "--fail-fast",
+                 "--faults", "fatal@0"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "skipped" in captured.err
+    assert "2 of 2 job(s) did not complete" in captured.err
+
+
+def test_batch_transient_fault_retries_to_success(capsys, tmp_path):
+    code = main(["batch", "--datasets", "bio-human", "--schedules",
+                 "vertex_map", "--scale", "0.2", "--iterations", "1",
+                 "--no-cache", "--faults", "transient@0"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "1 retried" in captured.out
+
+
+def test_batch_journal_resume_round_trip(capsys, tmp_path):
+    journal = tmp_path / "run.jsonl"
+    argv = ["batch", "--datasets", "bio-human", "--schedules",
+            "vertex_map", "sparseweaver", "--scale", "0.2",
+            "--iterations", "1", "--no-cache",
+            "--journal", str(journal)]
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert "2 submitted, 2 simulated" in out
+    assert journal.exists()
+
+    code, out = run_cli(capsys, *argv, "--resume")
+    assert code == 0
+    assert "resume: 2 completed job(s) restored" in out
+    assert "2 submitted, 0 simulated" in out
+    assert "2 resumed" in out
+
+
+def test_batch_journal_without_resume_starts_fresh(capsys, tmp_path):
+    journal = tmp_path / "run.jsonl"
+    argv = ["batch", "--datasets", "bio-human", "--schedules",
+            "vertex_map", "--scale", "0.2", "--iterations", "1",
+            "--no-cache", "--journal", str(journal)]
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    code, out = run_cli(capsys, *argv)  # no --resume: fresh run
+    assert code == 0
+    assert "1 simulated" in out
+
+
+def test_resume_without_journal_is_a_config_error(capsys, tmp_path):
+    code = main(["batch", "--datasets", "bio-human", "--schedules",
+                 "vertex_map", "--scale", "0.2", "--no-cache",
+                 "--resume"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--resume requires --journal" in captured.err
+
+
+def test_malformed_faults_plan_is_a_config_error(capsys):
+    code = main(["batch", "--datasets", "bio-human", "--schedules",
+                 "vertex_map", "--scale", "0.2", "--no-cache",
+                 "--faults", "explode@0"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "unknown fault kind" in captured.err
+
+
+def test_bench_keep_going_emits_surviving_figures(capsys, tmp_path):
+    code = main(["bench", "--smoke", "--figures", "table1,fig13",
+                 "--jobs", "1", "--no-cache", "--keep-going",
+                 "--out", str(tmp_path / "results"),
+                 "--faults", "fatal~1.0"])
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "did not complete" in captured.err
+    assert "figures skipped" in captured.err
+
+
+def test_bench_journal_resume(capsys, tmp_path):
+    journal = tmp_path / "run.jsonl"
+    argv = ["bench", "--smoke", "--figures", "fig13", "--jobs", "1",
+            "--no-cache", "--out", str(tmp_path / "results"),
+            "--journal", str(journal),
+            "--telemetry", str(tmp_path / "events.jsonl")]
+    code, out = run_cli(capsys, *argv)
+    assert code == 0
+    assert journal.exists() and journal.stat().st_size > 0
+
+    code, out = run_cli(capsys, *argv, "--resume")
+    assert code == 0
+    assert "resume:" in out
+    events = [json.loads(line) for line in
+              (tmp_path / "events.jsonl").read_text().splitlines()]
+    kinds = [e["kind"] for e in events]
+    assert kinds.count("resumed") > 0
+    # The resumed pass never started a worker.
+    first_summary = kinds.index("batch_summary")
+    assert "started" not in kinds[first_summary:]

@@ -1,0 +1,233 @@
+"""Run journal: durable completions, torn tails, resume semantics.
+
+The SIGINT round-trip at the bottom drives the real CLI in a
+subprocess, interrupts it mid-batch, and proves the resumed run
+re-simulates nothing the interrupted run already finished.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.graph import powerlaw_graph
+from repro.runtime import (AlgorithmSpec, BatchEngine, GraphSpec, JobSpec,
+                           RunJournal, Telemetry, append_jsonl)
+from repro.runtime.journal import JOURNAL_SCHEMA
+from repro.sim import GPUConfig
+
+SCHEDULES = ["vertex_map", "edge_map", "warp_map", "sparseweaver"]
+
+
+def tiny_specs(n=4):
+    algorithm = AlgorithmSpec.of("pagerank", iterations=1)
+    graph = GraphSpec.inline(powerlaw_graph(100, 400, seed=1), name="pl")
+    return [
+        JobSpec(algorithm=algorithm, graph=graph, schedule=sched,
+                config=GPUConfig.vortex_tiny(), max_iterations=1)
+        for sched in SCHEDULES[:n]
+    ]
+
+
+# ------------------------------------------------------------- basics
+def test_record_load_round_trip(tmp_path):
+    specs = tiny_specs(2)
+    outcomes = BatchEngine(jobs=1).run(specs)
+    journal = RunJournal(tmp_path / "run.jsonl")
+    for spec, outcome in zip(specs, outcomes):
+        journal.record(spec, outcome.summary)
+    assert len(journal) == 2
+    assert specs[0] in journal
+
+    again = RunJournal(tmp_path / "run.jsonl")
+    assert again.load() == 2
+    restored = again.summary_for(specs[0])
+    assert restored is not None
+    assert restored.from_cache
+    assert restored.total_cycles == outcomes[0].summary.total_cycles
+    assert again.hashes() == {s.content_hash() for s in specs}
+
+
+def test_record_is_idempotent_per_hash(tmp_path):
+    spec = tiny_specs(1)[0]
+    summary = BatchEngine(jobs=1).run([spec])[0].summary
+    journal = RunJournal(tmp_path / "run.jsonl")
+    journal.record(spec, summary)
+    journal.record(spec, summary)
+    lines = (tmp_path / "run.jsonl").read_text().splitlines()
+    assert len(lines) == 1
+
+
+def test_torn_tail_line_is_skipped(tmp_path):
+    spec = tiny_specs(1)[0]
+    summary = BatchEngine(jobs=1).run([spec])[0].summary
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(path)
+    journal.record(spec, summary)
+    # Simulate a pre-atomic writer dying mid-append.
+    with path.open("a") as handle:
+        handle.write('{"schema": 1, "hash": "dead')
+    again = RunJournal(path)
+    assert again.load() == 1
+    assert again.bad_lines == 1
+    assert spec in again
+
+
+def test_stale_simulator_version_lines_are_ignored(tmp_path):
+    path = tmp_path / "run.jsonl"
+    append_jsonl(path, {"schema": JOURNAL_SCHEMA, "sim": -1,
+                        "hash": "abc", "summary": {}})
+    journal = RunJournal(path)
+    assert journal.load() == 0
+    assert journal.stale_lines == 1
+
+
+def test_rotate_compacts_duplicates_atomically(tmp_path):
+    spec = tiny_specs(1)[0]
+    summary = BatchEngine(jobs=1).run([spec])[0].summary
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(path)
+    journal.record(spec, summary)
+    # Duplicate + torn garbage, as repeated interrupt cycles leave.
+    line = path.read_text()
+    path.write_text(line + line + "{torn")
+    journal = RunJournal(path)
+    assert journal.load() == 1
+    assert journal.rotate() == 1
+    assert len(path.read_text().splitlines()) == 1
+    assert RunJournal(path).load() == 1
+
+
+def test_reset_truncates(tmp_path):
+    spec = tiny_specs(1)[0]
+    summary = BatchEngine(jobs=1).run([spec])[0].summary
+    journal = RunJournal(tmp_path / "run.jsonl")
+    journal.record(spec, summary)
+    journal.reset()
+    assert len(journal) == 0
+    assert not (tmp_path / "run.jsonl").exists()
+    stats = journal.stats()
+    assert stats["entries"] == 0
+
+
+def test_append_jsonl_is_single_complete_lines(tmp_path):
+    path = tmp_path / "events.jsonl"
+    for i in range(20):
+        append_jsonl(path, {"i": i})
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert [json.loads(l)["i"] for l in text.splitlines()] == list(
+        range(20))
+
+
+# ----------------------------------------------------- engine resume
+def test_engine_journals_and_resumes(tmp_path):
+    specs = tiny_specs(3)
+    journal = RunJournal(tmp_path / "run.jsonl")
+    first_tel = Telemetry()
+    first = BatchEngine(jobs=1, telemetry=first_tel,
+                        journal=journal).run(specs)
+    assert [o.status for o in first] == ["ok"] * 3
+    assert first_tel.count("started") == 3
+
+    resumed_journal = RunJournal(tmp_path / "run.jsonl")
+    resumed_journal.load()
+    second_tel = Telemetry()
+    second = BatchEngine(jobs=1, telemetry=second_tel,
+                         journal=resumed_journal).run(specs)
+    assert [o.status for o in second] == ["resumed"] * 3
+    assert second_tel.count("started") == 0  # zero re-simulation
+    assert second_tel.count("resumed") == 3
+    assert ([o.summary.total_cycles for o in second]
+            == [o.summary.total_cycles for o in first])
+
+
+def test_cached_hits_are_journaled_too(tmp_path):
+    from repro.runtime import ResultCache
+
+    specs = tiny_specs(2)
+    cache = ResultCache(tmp_path / "cache")
+    BatchEngine(jobs=1, cache=cache).run(specs)
+
+    journal = RunJournal(tmp_path / "run.jsonl")
+    outcomes = BatchEngine(jobs=1, cache=cache, journal=journal).run(specs)
+    assert [o.status for o in outcomes] == ["cached"] * 2
+    # A later resume needs no cache at all.
+    resumed_journal = RunJournal(tmp_path / "run.jsonl")
+    assert resumed_journal.load() == 2
+    resumed = BatchEngine(jobs=1, journal=resumed_journal).run(specs)
+    assert [o.status for o in resumed] == ["resumed"] * 2
+
+
+# ------------------------------------------------- SIGINT round trip
+def test_sigint_then_resume_resimulates_nothing(tmp_path):
+    """Interrupt a real CLI batch mid-run; the --resume rerun restores
+    every journaled job and simulates only the remainder."""
+    journal_path = tmp_path / "run.jsonl"
+    telemetry_path = tmp_path / "resume-events.jsonl"
+    repo_root = Path(__file__).resolve().parents[1]
+    env = dict(os.environ,
+               PYTHONPATH=str(repo_root / "src"),
+               REPRO_JOBS="1")
+    env.pop("REPRO_FAULTS", None)
+    argv = [sys.executable, "-m", "repro", "batch",
+            "--algorithm", "pagerank", "--datasets", "bio-human",
+            "--scale", "0.3", "--iterations", "2", "--no-cache",
+            "--journal", str(journal_path)]
+
+    proc = subprocess.Popen(argv, env=env, cwd=repo_root,
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.PIPE)
+    # Interrupt as soon as at least one completion is journaled.
+    deadline = time.time() + 120
+    while time.time() < deadline and proc.poll() is None:
+        if journal_path.exists() and journal_path.stat().st_size > 0:
+            break
+        time.sleep(0.05)
+    interrupted_hashes = set()
+    if proc.poll() is None:
+        time.sleep(0.2)  # let it get partway into the next job
+        proc.send_signal(signal.SIGINT)
+    proc.wait(timeout=120)
+    assert proc.returncode in (0, 130)
+    if journal_path.exists():
+        for line in journal_path.read_text().splitlines():
+            try:
+                interrupted_hashes.add(json.loads(line)["hash"])
+            except (ValueError, KeyError):
+                pass
+    assert interrupted_hashes, "nothing was journaled before SIGINT"
+
+    resume = subprocess.run(
+        argv + ["--resume", "--telemetry", str(telemetry_path)],
+        env=env, cwd=repo_root, capture_output=True, text=True,
+        timeout=300)
+    assert resume.returncode == 0, resume.stderr
+    assert "resume:" in resume.stdout
+    events = [json.loads(line) for line in
+              telemetry_path.read_text().splitlines()]
+    resumed = {e["job"] for e in events if e["kind"] == "resumed"}
+    started = {e["job"] for e in events if e["kind"] == "started"}
+    # Everything journaled before the interrupt was restored, and no
+    # restored job was simulated again.
+    from repro.sched import ALL_SCHEDULES
+
+    assert resumed == {h[:12] for h in interrupted_hashes}
+    assert not (resumed & started)
+    assert len(resumed) + len(started) == len(ALL_SCHEDULES)
+
+    # A second resume restores everything: zero simulations.
+    again_tel = tmp_path / "again-events.jsonl"
+    again = subprocess.run(
+        argv + ["--resume", "--telemetry", str(again_tel)],
+        env=env, cwd=repo_root, capture_output=True, text=True,
+        timeout=300)
+    assert again.returncode == 0, again.stderr
+    events = [json.loads(line) for line in
+              again_tel.read_text().splitlines()]
+    kinds = [e["kind"] for e in events]
+    assert kinds.count("resumed") == len(ALL_SCHEDULES)
+    assert kinds.count("started") == 0
