@@ -1,0 +1,165 @@
+"""Pinned perf-trajectory benchmark: how fast is the platform itself?
+
+Every other benchmark in this directory measures the *simulated*
+machine (cycle counts); this one measures the *simulator platform* —
+the jobs/s and simulated-cycles/s the batch engine sustains on a
+pinned figure subset, the latency of a result-cache hit, and the peak
+RSS of the run.  The numbers land in a ``BENCH_<n>.json`` artifact at
+the repo root, one file per growth PR, so the trajectory of platform
+performance across PRs is a committed, diffable record — and CI's
+speed gate fails any PR that regresses jobs/s by more than 25%
+against the latest committed baseline.
+
+Usage::
+
+    python benchmarks/bench_perf_trajectory.py --out BENCH_7.json
+    python benchmarks/bench_perf_trajectory.py --check BENCH_6.json
+
+The workload is deliberately pinned (one figure, smoke scale, serial
+engine) so numbers are comparable across PRs; change ``PINNED_*`` only
+with a fresh baseline and a note in CHANGES.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+#: The pinned measurement subset.  fig10_pagerank at smoke scale: 15
+#: jobs spanning all five paper schedules — enough work to time, small
+#: enough to finish in seconds.
+PINNED_FIGURE = "fig10_pagerank"
+PINNED_SCALE = 0.05
+PINNED_JOBS = 1  # serial: one process, comparable across CI hosts
+
+#: Artifact schema; bump when the metric set changes shape.
+BENCH_SCHEMA = 1
+
+#: Default regression tolerance for --check (fraction of baseline).
+DEFAULT_MAX_REGRESS = 0.25
+
+
+def _peak_rss_bytes() -> int:
+    """Peak RSS of this process (Linux ru_maxrss is in KiB)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak * (1 if sys.platform == "darwin" else 1024)
+
+
+def measure() -> dict:
+    """Run the pinned subset cold and warm; return the metric dict."""
+    from repro.figures import FigureContext, get_figure
+    from repro.figures.driver import expand_jobs
+    from repro.runtime import BatchEngine, ResultCache
+
+    ctx = FigureContext.smoke_context(scale=PINNED_SCALE)
+    figure = get_figure(PINNED_FIGURE)
+    batch, _per_figure = expand_jobs([figure], ctx)
+
+    # Cold: every job simulates (no cache, no journal).
+    cold_engine = BatchEngine(jobs=PINNED_JOBS)
+    cold_start = time.perf_counter()
+    cold = cold_engine.run(batch)
+    cold_wall = time.perf_counter() - cold_start
+    assert all(o.status == "ok" for o in cold), [
+        (o.spec.label, o.error) for o in cold if o.status != "ok"]
+    cycles = sum(o.summary.total_cycles for o in cold)
+
+    # Warm: populate a scratch cache, then time hit-only lookups.
+    with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
+        cache = ResultCache(tmp)
+        BatchEngine(jobs=PINNED_JOBS, cache=cache).run(batch)
+        warm_engine = BatchEngine(jobs=PINNED_JOBS, cache=cache)
+        warm_start = time.perf_counter()
+        warm = warm_engine.run(batch)
+        warm_wall = time.perf_counter() - warm_start
+    assert all(o.status == "cached" for o in warm), [
+        o.status for o in warm]
+
+    return {
+        "jobs": len(batch),
+        "cold_wall_seconds": round(cold_wall, 6),
+        "jobs_per_second": round(len(batch) / cold_wall, 3),
+        "simulated_cycles": cycles,
+        "simulated_cycles_per_second": round(cycles / cold_wall, 1),
+        "cache_hit_latency_seconds": round(warm_wall / len(batch), 6),
+        "peak_rss_bytes": _peak_rss_bytes(),
+    }
+
+
+def build_artifact() -> dict:
+    """The full BENCH_*.json payload (metrics + provenance)."""
+    from repro.sim import SIMULATOR_VERSION
+
+    return {
+        "schema": BENCH_SCHEMA,
+        "benchmark": "perf_trajectory",
+        "subset": {
+            "figure": PINNED_FIGURE,
+            "scale": PINNED_SCALE,
+            "engine_jobs": PINNED_JOBS,
+        },
+        "simulator_version": SIMULATOR_VERSION,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "time": round(time.time(), 3),
+        "metrics": measure(),
+    }
+
+
+def check(artifact: dict, baseline_path: Path,
+          max_regress: float) -> int:
+    """Compare against a committed baseline; 0 ok, 1 regressed."""
+    baseline = json.loads(baseline_path.read_text())
+    base_rate = baseline["metrics"]["jobs_per_second"]
+    rate = artifact["metrics"]["jobs_per_second"]
+    floor = base_rate * (1.0 - max_regress)
+    verdict = "OK" if rate >= floor else "REGRESSION"
+    print(f"speed gate vs {baseline_path.name}: "
+          f"{rate:.3f} jobs/s vs baseline {base_rate:.3f} "
+          f"(floor {floor:.3f}, max regress {max_regress:.0%}) "
+          f"-> {verdict}")
+    if verdict == "REGRESSION":
+        print("jobs/s fell by more than the allowed margin; either "
+              "fix the slowdown, refresh the baseline with --out, or "
+              "label the PR to skip the gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="pinned platform-performance benchmark")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the artifact JSON here")
+    parser.add_argument("--check", default=None, metavar="BASELINE",
+                        help="compare jobs/s against this committed "
+                             "BENCH_*.json; exit 1 on regression")
+    parser.add_argument("--max-regress", type=float,
+                        default=DEFAULT_MAX_REGRESS,
+                        help="allowed fractional jobs/s drop for "
+                             "--check (default 0.25)")
+    args = parser.parse_args(argv)
+
+    artifact = build_artifact()
+    print(json.dumps(artifact, indent=1, sort_keys=True))
+    if args.out:
+        out = Path(args.out)
+        out.write_text(json.dumps(artifact, indent=1, sort_keys=True)
+                       + "\n")
+        print(f"wrote {out}")
+    if args.check:
+        return check(artifact, Path(args.check), args.max_regress)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ Commands
 ``area``      the Table IV area model
 ``weaver``    replay the Fig. 6 FSM example
 ``batch``     run a job grid through the parallel runtime engine
+``serve``     coordinate a job grid across a distributed worker fleet
+``work``      pull and run leases from a ``serve``/``--dist`` coordinator
 ``cache``     inspect or clear the content-addressed result cache
 ``tail``      live dashboard over a batch telemetry JSONL file
 ``report``    aggregate telemetry/metrics files into one summary
@@ -110,6 +112,14 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="inject a deterministic fault plan, e.g. "
                               "'crash@1,corrupt@0,seed=7' (see "
                               "repro.runtime.faults; also REPRO_FAULTS)")
+    bench_p.add_argument("--dist", default=None, metavar="HOST:PORT",
+                         help="serve the batch to a distributed worker "
+                              "fleet bound at this address instead of "
+                              "running locally; start workers with "
+                              "'repro work HOST:PORT'")
+    bench_p.add_argument("--lease-seconds", type=float, default=None,
+                         help="fleet lease lifetime without a heartbeat "
+                              "(with --dist; default 30)")
 
     sub.add_parser("datasets", help="Table III analog inventory")
 
@@ -182,10 +192,76 @@ def _build_parser() -> argparse.ArgumentParser:
                               "'crash@1,corrupt@0,seed=7' (see "
                               "repro.runtime.faults; also REPRO_FAULTS)")
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="coordinate a job grid across a distributed worker fleet "
+             "(the batch command's grid, served over TCP leases)")
+    serve_p.add_argument("--bind", default="127.0.0.1:0",
+                         metavar="HOST:PORT",
+                         help="address to listen on (port 0 picks an "
+                              "ephemeral port, printed at startup)")
+    serve_p.add_argument("--algorithm", default="pagerank",
+                         choices=algorithm_names())
+    serve_p.add_argument("--datasets", nargs="+", default=["bio-human"],
+                         choices=dataset_names())
+    serve_p.add_argument("--schedules", nargs="+", default=None,
+                         choices=schedule_names(),
+                         help="default: the paper's five (ALL_SCHEDULES)")
+    serve_p.add_argument("--scale", type=float, default=0.25)
+    serve_p.add_argument("--iterations", type=int, default=2)
+    serve_p.add_argument("--spec-file", default=None,
+                         help="JSON file with a list of job objects "
+                              "(overrides the grid flags)")
+    serve_p.add_argument("--cache-dir", default=None)
+    serve_p.add_argument("--no-cache", action="store_true")
+    serve_p.add_argument("--telemetry", default=None, metavar="PATH",
+                         help="append run events to this JSONL file")
+    serve_p.add_argument("--timeout", type=float, default=None,
+                         help="hard per-job deadline (heartbeats cannot "
+                              "extend a lease past it)")
+    serve_p.add_argument("--retries", type=int, default=1,
+                         help="extra attempts per job after a lost or "
+                              "transiently-failed lease")
+    serve_p.add_argument("--lease-seconds", type=float, default=None,
+                         help="lease lifetime without a heartbeat "
+                              "(default 30)")
+    serve_p.add_argument("--fail-fast", action="store_true")
+    serve_p.add_argument("--journal", default=None, metavar="PATH",
+                         help="work ledger: leases, reclaims and "
+                              "completions (JSONL) for --resume")
+    serve_p.add_argument("--resume", action="store_true",
+                         help="restore completed jobs from --journal; "
+                              "nothing journaled is re-simulated")
+    serve_p.add_argument("--faults", default=None, metavar="PLAN",
+                         help="fault directives shipped to workers in "
+                              "their leases, e.g. 'crash@1,seed=7'")
+    serve_p.add_argument("--json", action="store_true",
+                         help="print outcomes + fleet stats as JSON")
+
+    work_p = sub.add_parser(
+        "work",
+        help="pull and run simulation leases from a coordinator "
+             "(repro serve / repro bench --dist)")
+    work_p.add_argument("address", metavar="HOST:PORT",
+                        help="the coordinator's address")
+    work_p.add_argument("--id", default=None, dest="worker_id",
+                        help="worker id (default: hostname-pid)")
+    work_p.add_argument("--max-jobs", type=int, default=None,
+                        help="sign off after this many leases "
+                             "(default: run until drained)")
+    work_p.add_argument("--connect-timeout", type=float, default=10.0,
+                        help="seconds to keep retrying the initial "
+                             "connect (workers may start first)")
+    work_p.add_argument("--obs", action="store_true",
+                        help="enable the metrics registry; worker "
+                             "metrics ship home with each result")
+
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the result cache")
     cache_p.add_argument("action", choices=["stats", "clear"])
     cache_p.add_argument("--cache-dir", default=None)
+    cache_p.add_argument("--json", action="store_true",
+                         help="emit stats as JSON (scriptable)")
 
     tail_p = sub.add_parser(
         "tail",
@@ -352,11 +428,19 @@ def _cmd_bench(args) -> int:
     cache = None if args.no_cache else ResultCache(args.cache_dir,
                                                    faults=faults)
     telemetry = Telemetry(args.telemetry, faults=faults)
+    if args.dist and args.jobs:
+        from repro.errors import ConfigError
+
+        raise ConfigError("--jobs does not apply with --dist; the "
+                          "fleet's parallelism is its worker count")
+    dist_options = ({"lease_seconds": args.lease_seconds}
+                    if args.lease_seconds else None)
     start = time.perf_counter()
     outputs, report = run_figures_report(
         figures, ctx, jobs=args.jobs, cache=cache, telemetry=telemetry,
         journal=journal, timeout=args.timeout, faults=faults,
-        policy="keep_going" if args.keep_going else "fail_fast")
+        policy="keep_going" if args.keep_going else "fail_fast",
+        dist=args.dist, dist_options=dist_options)
     elapsed = time.perf_counter() - start
 
     out_dir = Path(args.out) if args.out else (
@@ -484,31 +568,46 @@ def _load_spec_file(path: str):
     return specs
 
 
-def _cmd_batch(args) -> int:
-    from repro.runtime import (AlgorithmSpec, BatchEngine, GraphSpec,
-                               JobSpec, ResultCache, Telemetry)
+def _batch_specs(args):
+    """The ``batch``/``serve`` grid (or spec file) as JobSpec objects."""
+    from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
 
     if args.spec_file:
-        specs = _load_spec_file(args.spec_file)
-    else:
-        schedules = args.schedules or list(ALL_SCHEDULES)
-        algorithm = AlgorithmSpec.of(
-            args.algorithm,
-            **({"iterations": args.iterations}
-               if args.algorithm == "pagerank" else
-               {"source": 0} if args.algorithm in ("bfs", "sssp") else {}))
-        specs = [
-            JobSpec(
-                algorithm=algorithm,
-                graph=GraphSpec.from_dataset(name, scale=args.scale),
-                schedule=sched,
-                config=GPUConfig.vortex_bench(),
-                max_iterations=args.iterations,
-            )
-            for name in args.datasets
-            for sched in schedules
-        ]
+        return _load_spec_file(args.spec_file)
+    schedules = args.schedules or list(ALL_SCHEDULES)
+    algorithm = AlgorithmSpec.of(
+        args.algorithm,
+        **({"iterations": args.iterations}
+           if args.algorithm == "pagerank" else
+           {"source": 0} if args.algorithm in ("bfs", "sssp") else {}))
+    return [
+        JobSpec(
+            algorithm=algorithm,
+            graph=GraphSpec.from_dataset(name, scale=args.scale),
+            schedule=sched,
+            config=GPUConfig.vortex_bench(),
+            max_iterations=args.iterations,
+        )
+        for name in args.datasets
+        for sched in schedules
+    ]
 
+
+def _outcome_rows(outcomes):
+    """The shared ``batch``/``serve`` result table rows."""
+    return [
+        [o.spec.algorithm.name, o.spec.graph.name, o.spec.schedule,
+         o.status,
+         o.summary.total_cycles if o.summary else "-",
+         round(o.wall_seconds, 3)]
+        for o in outcomes
+    ]
+
+
+def _cmd_batch(args) -> int:
+    from repro.runtime import BatchEngine, ResultCache, Telemetry
+
+    specs = _batch_specs(args)
     if args.obs or args.metrics:
         from repro.obs.metrics import enable_metrics
 
@@ -531,13 +630,7 @@ def _cmd_batch(args) -> int:
                          fail_fast=args.fail_fast)
     outcomes = engine.run(specs)
 
-    rows = [
-        [o.spec.algorithm.name, o.spec.graph.name, o.spec.schedule,
-         o.status,
-         o.summary.total_cycles if o.summary else "-",
-         round(o.wall_seconds, 3)]
-        for o in outcomes
-    ]
+    rows = _outcome_rows(outcomes)
     print(format_table(
         ["algorithm", "graph", "schedule", "status", "cycles", "sec"],
         rows, title=f"batch of {len(specs)} jobs "
@@ -558,13 +651,93 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import json as json_mod
+
+    from repro.dist import DEFAULT_LEASE_SECONDS, Coordinator
+    from repro.figures.driver import FailureReport
+    from repro.runtime import ResultCache, Telemetry
+
+    specs = _batch_specs(args)
+    faults = _resolve_faults(args)
+    journal = _resolve_journal(args)
+    cache = None if args.no_cache else ResultCache(args.cache_dir,
+                                                   faults=faults)
+    telemetry = Telemetry(args.telemetry, faults=faults)
+    coordinator = Coordinator(
+        args.bind,
+        lease_seconds=args.lease_seconds or DEFAULT_LEASE_SECONDS,
+        cache=cache, telemetry=telemetry, journal=journal,
+        timeout=args.timeout, retries=args.retries, faults=faults,
+        fail_fast=args.fail_fast)
+    coordinator.start()
+    print(f"coordinator serving {len(specs)} job(s) at "
+          f"{coordinator.address}; start workers with "
+          f"'repro work {coordinator.address}'", flush=True)
+    try:
+        outcomes = coordinator.run(specs)
+    finally:
+        coordinator.close()
+
+    fleet = coordinator.fleet_stats()
+    if args.json:
+        print(json_mod.dumps({
+            "outcomes": [
+                {"label": o.spec.label, "status": o.status,
+                 "cycles": (o.summary.total_cycles
+                            if o.summary else None),
+                 "attempts": o.attempts,
+                 "error": o.error}
+                for o in outcomes
+            ],
+            "fleet": fleet,
+            "telemetry": telemetry.summary(cache=cache),
+        }, sort_keys=True))
+    else:
+        print(format_table(
+            ["algorithm", "graph", "schedule", "status", "cycles",
+             "sec"],
+            _outcome_rows(outcomes),
+            title=f"fleet batch of {len(specs)} jobs "
+                  f"({len(fleet['workers'])} worker(s) seen)"))
+        print(telemetry.format_summary(cache))
+    report = FailureReport.from_outcomes(outcomes)
+    if not report.ok:
+        _print_failures(report)
+        return 1
+    return 0
+
+
+def _cmd_work(args) -> int:
+    from repro.dist import Worker
+
+    if args.obs:
+        from repro.obs.metrics import enable_metrics
+
+        enable_metrics()
+    worker = Worker(args.address, worker_id=args.worker_id,
+                    connect_timeout=args.connect_timeout,
+                    max_jobs=args.max_jobs)
+    print(f"worker {worker.worker_id} pulling leases from "
+          f"{args.address}", flush=True)
+    done = worker.run()
+    print(f"worker {worker.worker_id} drained: {done} job(s) run, "
+          f"{worker.jobs_failed} failed attempt(s)")
+    return 0
+
+
 def _cmd_cache(args) -> int:
+    import json as json_mod
+
     from repro.runtime import ResultCache
 
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached result(s) from {cache.dir}")
+        return 0
+    if args.json:
+        print(json_mod.dumps(cache.stats(), sort_keys=True))
         return 0
     for key, value in cache.stats().items():
         print(f"  {key}: {value}")
@@ -605,6 +778,8 @@ _COMMANDS = {
     "weaver": _cmd_weaver,
     "reproduce": _cmd_reproduce,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
+    "work": _cmd_work,
     "cache": _cmd_cache,
     "tail": _cmd_tail,
     "report": _cmd_report,

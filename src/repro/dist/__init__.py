@@ -1,0 +1,28 @@
+"""repro.dist — distributed, journal-aware fan-out simulation.
+
+A :class:`Coordinator` serves a batch of job specs to any number of
+:class:`Worker` processes over a line-delimited-JSON TCP protocol
+(:mod:`repro.dist.protocol`).  The coordinator *is* a batch engine —
+same cache/journal/telemetry/fault plumbing, same outcomes — so fleet
+runs are drop-in (and bit-identical) replacements for pool runs.  See
+``docs/distributed.md`` for the protocol, lease lifecycle and failure
+matrix.
+"""
+
+from repro.dist.coordinator import (DEFAULT_LEASE_SECONDS, Coordinator)
+from repro.dist.protocol import (DEFAULT_HOST, PROTOCOL_VERSION,
+                                 ProtocolError, format_address,
+                                 parse_address)
+from repro.dist.worker import Worker, default_worker_id
+
+__all__ = [
+    "Coordinator",
+    "Worker",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "DEFAULT_HOST",
+    "DEFAULT_LEASE_SECONDS",
+    "parse_address",
+    "format_address",
+    "default_worker_id",
+]

@@ -1,0 +1,558 @@
+"""The fleet coordinator: lease jobs out, fold results back in.
+
+A :class:`Coordinator` **is** a :class:`~repro.runtime.engine.BatchEngine`
+— same constructor knobs (cache, telemetry, journal, faults, retries,
+timeout, fail-fast), same journal/cache pre-pass, same
+:class:`~repro.runtime.engine.JobOutcome` bookkeeping, same metrics —
+whose execution backend is a TCP server instead of a process pool.
+``run(specs)`` therefore slots anywhere an engine does (the figures
+driver takes one via ``engine=`` / ``dist=``), and a fleet run is
+telemetry-compatible with a pool run: the same ``started`` /
+``finished`` / ``retried`` event stream, plus fleet events
+(``worker_joined`` / ``worker_left`` / ``lease_result`` /
+``lease_expired`` / ``lease_reclaimed``) the dashboard folds into its
+fleet view.
+
+Lease lifecycle::
+
+    pending --grant--> leased --result(ok)------> done (journaled)
+                        |  \\--result(transient)-> pending (retry) or failed
+                        |--expiry---------------> pending (retry),
+                        |                         or failed when the
+                        |                         per-job timeout is hit
+                        \\--worker disconnect----> pending (retry) or failed
+
+Every transition is durable: grants append ``lease`` records to the
+run journal, take-backs append ``reclaim`` records, completions append
+the ordinary completion record — so killing the coordinator at any
+instant leaves a ledger a ``--resume`` run restores bit-identically,
+with zero re-simulation of completed jobs.
+
+Concurrency model: one daemon thread accepts connections, one handler
+thread per worker folds that worker's messages in arrival order, and
+the thread that called ``run()`` sweeps expired leases.  All shared
+state mutates under one lock; socket reads happen outside it.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.dist import protocol
+from repro.dist.protocol import (MessageStream, ProtocolError,
+                                 format_address, parse_address)
+from repro.errors import ConfigError
+from repro.obs.metrics import get_registry
+from repro.runtime.cache import RunSummary
+from repro.runtime.engine import BatchEngine
+from repro.runtime.jobspec import JobSpec
+from repro.sim import SIMULATOR_VERSION
+
+#: Default seconds a lease stays valid without a heartbeat.
+DEFAULT_LEASE_SECONDS = 30.0
+
+#: Seconds an idle worker is told to wait before asking again.
+DEFAULT_WAIT_SECONDS = 0.2
+
+
+@dataclass
+class _Lease:
+    """One outstanding grant."""
+
+    index: int
+    spec: JobSpec
+    attempt: int
+    worker: str
+    started: float
+    deadline: float
+    hard_deadline: Optional[float] = None
+
+
+@dataclass
+class _WorkerInfo:
+    """What the coordinator knows about one connected worker."""
+
+    worker: str
+    addr: str
+    joined: float
+    alive: bool = True
+    jobs_ok: int = 0
+    jobs_failed: int = 0
+    last_seen: float = field(default=0.0)
+
+
+class Coordinator(BatchEngine):
+    """A batch engine whose workers arrive over TCP.
+
+    ``bind`` is ``"host:port"`` (port 0 picks an ephemeral port; read
+    it back from :attr:`address` / :attr:`port`).  ``lease_seconds``
+    is the heartbeat-refreshed lease lifetime; a worker that stops
+    heartbeating loses its lease after at most that long.  The
+    engine's ``timeout`` becomes a *hard* per-job deadline heartbeats
+    cannot extend, mirroring the pool path's per-job timeout.
+
+    The constructor accepts every :class:`BatchEngine` keyword; the
+    ``jobs`` count is meaningless here (parallelism is however many
+    workers connect) and is pinned to 1.
+    """
+
+    def __init__(self, bind: str = "127.0.0.1:0", *,
+                 lease_seconds: float = DEFAULT_LEASE_SECONDS,
+                 heartbeat_seconds: Optional[float] = None,
+                 poll_seconds: float = 0.05,
+                 name: str = "coordinator",
+                 **engine_kwargs) -> None:
+        engine_kwargs.pop("jobs", None)
+        super().__init__(jobs=1, **engine_kwargs)
+        self.bind = parse_address(bind)
+        self.lease_seconds = float(lease_seconds)
+        self.heartbeat_seconds = (
+            float(heartbeat_seconds) if heartbeat_seconds is not None
+            else max(self.lease_seconds / 3.0, 0.02))
+        self.poll_seconds = float(poll_seconds)
+        self.name = name
+
+        self._lock = threading.RLock()
+        self._pending: deque = deque()  # (index, spec, attempt)
+        self._leases: Dict[str, _Lease] = {}
+        self._jobs: Dict[str, Tuple[int, JobSpec]] = {}  # hash -> job
+        self._outcomes: Optional[Dict[int, Any]] = None
+        self._open = 0  # jobs not yet finally resolved
+        self._abort = False
+        self._batch_active = False
+        self._batches_done = 0
+        self.stale_results = 0
+
+        self._server_sock: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._streams: List[MessageStream] = []
+        self._workers: Dict[str, _WorkerInfo] = {}
+        self._closing = False
+
+    # ------------------------------------------------------------------
+    # server lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        """The bound ``host:port`` (valid after :meth:`start`)."""
+        return format_address(self.bind)
+
+    @property
+    def host(self) -> str:
+        return self.bind[0]
+
+    @property
+    def port(self) -> int:
+        return self.bind[1]
+
+    def start(self) -> "Coordinator":
+        """Bind, listen and start accepting workers (idempotent)."""
+        with self._lock:
+            if self._server_sock is not None:
+                return self
+            sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind(self.bind)
+            sock.listen(64)
+            self._server_sock = sock
+            self.bind = sock.getsockname()[:2]
+            self._closing = False
+            self._accept_thread = threading.Thread(
+                target=self._accept_loop, name="dist-accept", daemon=True)
+            self._accept_thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting and drop every connection (idempotent)."""
+        with self._lock:
+            self._closing = True
+            sock, self._server_sock = self._server_sock, None
+            streams, self._streams = self._streams, []
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        for stream in streams:
+            stream.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=2.0)
+            self._accept_thread = None
+
+    def __enter__(self) -> "Coordinator":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _accept_loop(self) -> None:
+        while True:
+            with self._lock:
+                sock = self._server_sock
+            if sock is None:
+                return
+            try:
+                conn, addr = sock.accept()
+            except OSError:
+                return  # closed underneath us
+            threading.Thread(
+                target=self._handle_connection, args=(conn, addr),
+                name=f"dist-conn-{addr[1]}", daemon=True).start()
+
+    # ------------------------------------------------------------------
+    # engine integration
+    # ------------------------------------------------------------------
+    def run(self, specs) -> List[Any]:
+        """Pre-pass (journal, cache) then serve the rest to the fleet."""
+        for spec in specs:
+            if spec.graph.kind == "inline":
+                raise ConfigError(
+                    f"job {spec.label!r} wraps an inline graph; only "
+                    "dataset/generator specs can cross the wire "
+                    "(inline payloads are not JSON-rebuildable)")
+        self.start()
+        return super().run(specs)
+
+    # Both engine execution backends route to the fleet: the pre-pass
+    # and outcome bookkeeping in BatchEngine.run stay untouched.
+    def _run_serial(self, pending, outcomes) -> None:
+        self._run_fleet(pending, outcomes)
+
+    def _run_parallel(self, pending, outcomes) -> None:
+        self._run_fleet(pending, outcomes)
+
+    def _run_fleet(self, pending, outcomes) -> None:
+        with self._lock:
+            self._outcomes = outcomes
+            self._pending.clear()
+            self._leases.clear()
+            self._jobs.clear()
+            for index, spec in pending:
+                self._pending.append((index, spec, 1))
+                self._jobs[spec.content_hash()] = (index, spec)
+            self._open = len(pending)
+            self._abort = False
+            self._batch_active = True
+        try:
+            while True:
+                with self._lock:
+                    if self._open <= 0:
+                        break
+                    if self._abort and not self._leases:
+                        self._drain_pending_as_skipped()
+                        break
+                self._reclaim_expired()
+                time.sleep(self.poll_seconds)
+        finally:
+            with self._lock:
+                self._batch_active = False
+                self._batches_done += 1
+                self._outcomes = None
+
+    def _drain_pending_as_skipped(self) -> None:
+        """fail_fast abort: everything still queued is abandoned."""
+        while self._pending:
+            index, spec, _attempt = self._pending.popleft()
+            self._record_skipped(index, spec, self._outcomes)
+            self._open -= 1
+
+    # ------------------------------------------------------------------
+    # lease table transitions (all under self._lock)
+    # ------------------------------------------------------------------
+    def _count_lease(self, event: str) -> None:
+        get_registry().counter(
+            "dist_leases_total", "Fleet leases by lifecycle event"
+        ).inc(event=event)
+
+    def _grant(self, stream: MessageStream, worker: str) -> None:
+        with self._lock:
+            if not self._batch_active:
+                if self._batches_done and not self._closing:
+                    stream.send(protocol.drain())
+                    return
+                stream.send(protocol.wait(DEFAULT_WAIT_SECONDS))
+                return
+            if not self._pending or self._abort:
+                stream.send(protocol.wait(
+                    min(DEFAULT_WAIT_SECONDS, self.poll_seconds * 4)))
+                return
+            index, spec, attempt = self._pending.popleft()
+            spec_hash = spec.content_hash()
+            now = time.time()
+            hard = (now + self.timeout
+                    if self.timeout is not None else None)
+            deadline = now + self.lease_seconds
+            if hard is not None:
+                deadline = min(deadline, hard)
+            self._leases[spec_hash] = _Lease(
+                index=index, spec=spec, attempt=attempt, worker=worker,
+                started=now, deadline=deadline, hard_deadline=hard)
+            fault = (self.faults.worker_fault(index, attempt)
+                     if self.faults is not None else None)
+            if self.journal is not None:
+                self.journal.record_lease(spec_hash, worker,
+                                          self.lease_seconds, attempt)
+            self.telemetry.emit("started", spec, attempt=attempt,
+                                worker=worker)
+            self._job_started()
+            self._count_lease("granted")
+            info = self._workers.get(worker)
+            if info is not None:
+                info.last_seen = now
+        stream.send(protocol.lease(
+            spec_hash, spec.to_dict(), index, attempt,
+            self.lease_seconds, fault=fault))
+
+    def _heartbeat(self, worker: str, spec_hash: Optional[str]) -> None:
+        with self._lock:
+            now = time.time()
+            info = self._workers.get(worker)
+            if info is not None:
+                info.last_seen = now
+            held = self._leases.get(spec_hash or "")
+            if held is not None and held.worker == worker:
+                held.deadline = now + self.lease_seconds
+                if held.hard_deadline is not None:
+                    held.deadline = min(held.deadline,
+                                        held.hard_deadline)
+
+    def _take_back(self, lease: _Lease, reason: str) -> None:
+        """Reclaim one removed lease: journal + telemetry + retry/fail.
+
+        Caller holds the lock and has already popped the lease.
+        """
+        spec_hash = lease.spec.content_hash()
+        if self.journal is not None:
+            self.journal.record_reclaim(spec_hash, lease.worker, reason)
+        self.telemetry.emit(
+            "lease_expired" if reason == "expired" else "lease_reclaimed",
+            lease.spec, worker=lease.worker, reason=reason)
+        self._count_lease("expired" if reason == "expired"
+                          else "reclaimed")
+        if reason != "transient" and self._take_retry(lease.attempt):
+            self._note_retry(lease.spec, lease.attempt, "crash")
+            self._pending.append(
+                (lease.index, lease.spec, lease.attempt + 1))
+        elif reason == "transient" and self._take_retry(lease.attempt):
+            self._note_retry(lease.spec, lease.attempt, "transient")
+            self._pending.append(
+                (lease.index, lease.spec, lease.attempt + 1))
+        else:
+            self._fail_lease(
+                lease, f"worker {lease.worker} lost the job ({reason}) "
+                       "and no retries remain")
+
+    def _fail_lease(self, lease: _Lease, error: str) -> None:
+        self._record_failure(
+            lease.index, lease.spec, error, lease.attempt,
+            time.time() - lease.started, self._outcomes)
+        self._open -= 1
+        if self.fail_fast:
+            self._abort = True
+
+    def _reclaim_expired(self) -> None:
+        now = time.time()
+        with self._lock:
+            if not self._batch_active:
+                return
+            for spec_hash in [h for h, l in self._leases.items()
+                              if l.deadline <= now]:
+                lease = self._leases.pop(spec_hash)
+                if (lease.hard_deadline is not None
+                        and now >= lease.hard_deadline):
+                    # The engine's per-job timeout semantics: a hung
+                    # job is a structured failure, not a retry.
+                    self.telemetry.emit("lease_expired", lease.spec,
+                                        worker=lease.worker,
+                                        reason="timeout")
+                    self._count_lease("expired")
+                    if self.journal is not None:
+                        self.journal.record_reclaim(
+                            spec_hash, lease.worker, "timeout")
+                    self._fail_lease(
+                        lease, f"timed out after {self.timeout}s")
+                else:
+                    self._take_back(lease, "expired")
+
+    # ------------------------------------------------------------------
+    # per-connection protocol
+    # ------------------------------------------------------------------
+    def _handle_connection(self, conn: socket.socket, addr) -> None:
+        stream = MessageStream(conn)
+        worker: Optional[str] = None
+        try:
+            opening = stream.recv()
+            worker = self._admit(stream, opening, addr)
+            if worker is None:
+                return
+            while True:
+                message = stream.recv()
+                if message is None:
+                    return
+                kind = message["type"]
+                if kind == "request":
+                    self._grant(stream, worker)
+                elif kind == "heartbeat":
+                    self._heartbeat(worker, message.get("hash"))
+                elif kind == "result":
+                    self._fold_result(worker, message)
+                    stream.send(protocol.ack())
+                elif kind == "goodbye":
+                    return
+                else:
+                    raise ProtocolError(
+                        f"unexpected message type {kind!r}")
+        except (OSError, ProtocolError, KeyError, TypeError,
+                ValueError):
+            pass  # a broken worker is handled like a dead one
+        finally:
+            self._depart(worker)
+            stream.close()
+
+    def _admit(self, stream: MessageStream, opening,
+               addr) -> Optional[str]:
+        """Validate a ``hello``; returns the worker id or ``None``."""
+        if opening is None or opening.get("type") != "hello":
+            stream.send(protocol.reject("expected hello"))
+            return None
+        if opening.get("protocol") != protocol.PROTOCOL_VERSION:
+            stream.send(protocol.reject(
+                f"protocol {opening.get('protocol')!r} != "
+                f"{protocol.PROTOCOL_VERSION}"))
+            return None
+        if opening.get("sim") != SIMULATOR_VERSION:
+            stream.send(protocol.reject(
+                f"simulator version {opening.get('sim')!r} != "
+                f"{SIMULATOR_VERSION!r}; results would not be "
+                "bit-identical"))
+            return None
+        worker = str(opening.get("worker") or "")
+        if not worker:
+            stream.send(protocol.reject("empty worker id"))
+            return None
+        now = time.time()
+        with self._lock:
+            existing = self._workers.get(worker)
+            if existing is not None and existing.alive:
+                stream.send(protocol.reject(
+                    f"worker id {worker!r} already connected"))
+                return None
+            self._workers[worker] = _WorkerInfo(
+                worker=worker, addr=format_address(addr), joined=now,
+                last_seen=now)
+            self._streams.append(stream)
+        stream.send(protocol.welcome(self.name, self.lease_seconds,
+                                     self.heartbeat_seconds))
+        self.telemetry.emit("worker_joined", None, worker=worker,
+                            addr=format_address(addr))
+        get_registry().counter(
+            "dist_workers_total", "Fleet workers by lifecycle event"
+        ).inc(event="joined")
+        return worker
+
+    def _depart(self, worker: Optional[str]) -> None:
+        """A connection ended: reclaim the worker's leases."""
+        if worker is None:
+            return
+        with self._lock:
+            info = self._workers.get(worker)
+            if info is None or not info.alive:
+                return
+            info.alive = False
+            held = [self._leases.pop(h) for h, l in list(
+                self._leases.items()) if l.worker == worker]
+            for lease in held:
+                self._take_back(lease, "disconnect")
+            jobs_done = info.jobs_ok
+        self.telemetry.emit("worker_left", None, worker=worker,
+                            jobs=jobs_done)
+        get_registry().counter(
+            "dist_workers_total", "Fleet workers by lifecycle event"
+        ).inc(event="left")
+
+    def _fold_result(self, worker: str, message: Dict[str, Any]) -> None:
+        spec_hash = str(message.get("hash", ""))
+        status = message.get("status")
+        wall = float(message.get("wall", 0.0))
+        with self._lock:
+            lease = self._leases.get(spec_hash)
+            if (lease is None or lease.worker != worker
+                    or not self._batch_active):
+                # A result for a lease we already reclaimed (slow
+                # worker raced the expiry sweeper) — drop it; the
+                # retry owns the job now.
+                self.stale_results += 1
+                self._count_lease("stale")
+                self.telemetry.emit("lease_result", None,
+                                    worker=worker, status="stale",
+                                    job_hash=spec_hash[:12])
+                return
+            del self._leases[spec_hash]
+            info = self._workers.get(worker)
+            self.telemetry.emit("lease_result", lease.spec,
+                                worker=worker, status=status,
+                                wall=round(wall, 6))
+            if status == "ok":
+                try:
+                    summary = RunSummary.from_dict(message["summary"])
+                except (KeyError, ValueError, TypeError) as exc:
+                    self._fail_lease(
+                        lease, "worker returned an undecodable "
+                               f"summary: {exc}")
+                    if info is not None:
+                        info.jobs_failed += 1
+                    return
+                if message.get("metrics"):
+                    get_registry().merge_snapshot(message["metrics"])
+                if info is not None:
+                    info.jobs_ok += 1
+                get_registry().counter(
+                    "dist_jobs_completed_total",
+                    "Fleet jobs completed per worker"
+                ).inc(worker=worker)
+                self._count_lease("completed")
+                self._record_success(lease.index, lease.spec, summary,
+                                     lease.attempt, wall,
+                                     self._outcomes)
+                self._open -= 1
+            elif message.get("transient"):
+                if info is not None:
+                    info.jobs_failed += 1
+                self._take_back(lease, "transient")
+            else:
+                if info is not None:
+                    info.jobs_failed += 1
+                self._fail_lease(
+                    lease, str(message.get("error", "worker failure")))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def fleet_stats(self) -> Dict[str, Any]:
+        """Scriptable snapshot of the fleet (for ``--json`` output)."""
+        with self._lock:
+            workers = {
+                info.worker: {
+                    "addr": info.addr,
+                    "alive": info.alive,
+                    "jobs_ok": info.jobs_ok,
+                    "jobs_failed": info.jobs_failed,
+                }
+                for info in self._workers.values()
+            }
+            return {
+                "address": self.address,
+                "lease_seconds": self.lease_seconds,
+                "workers": workers,
+                "workers_alive": sum(
+                    1 for i in self._workers.values() if i.alive),
+                "leases_held": len(self._leases),
+                "pending": len(self._pending),
+                "stale_results": self.stale_results,
+                "batches_done": self._batches_done,
+            }

@@ -1,0 +1,235 @@
+"""Wire protocol of the distributed fleet: line-delimited JSON on TCP.
+
+One message is one JSON object on one ``\\n``-terminated line — the
+same framing as every other byte this project persists (journals,
+telemetry sinks), so a captured conversation is greppable, diffable
+and replayable with a text editor.  The protocol is deliberately
+**pickle-free**: job specs travel as their canonical
+:meth:`~repro.runtime.jobspec.JobSpec.to_dict` form *plus* their
+content hash, and the worker re-derives the hash from the decoded
+spec before running — a spec corrupted or tampered with in flight is
+rejected, and heterogeneous hosts never unpickle each other's bytes.
+
+Message flow (worker-initiated; the coordinator only ever replies)::
+
+    worker                      coordinator
+    ------                      -----------
+    hello          ->
+                   <-           welcome | reject
+    request        ->
+                   <-           lease | wait | drain
+    heartbeat      ->                        (one-way, while running)
+    result         ->
+                   <-           ack
+    goodbye        ->
+
+``hello`` pins the protocol and simulator versions — a worker built
+from different simulator code would journal summaries that are not
+bit-identical, so the coordinator rejects it instead of accepting
+poisoned results.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ConfigError, ReproError
+
+#: Bump on any incompatible message change; pinned in ``hello``.
+PROTOCOL_VERSION = 1
+
+#: Hard bound on one framed message (a lease carrying a full GPUConfig
+#: spec is ~2 KB; summaries with stall matrices a few hundred KB).
+MAX_LINE_BYTES = 32 * 1024 * 1024
+
+#: Default coordinator bind when none is given.
+DEFAULT_HOST = "127.0.0.1"
+
+
+class ProtocolError(ReproError):
+    """A malformed, oversized or out-of-order protocol message."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (host may be omitted)."""
+    text = str(address).strip()
+    host, sep, port = text.rpartition(":")
+    if not sep:
+        host, port = DEFAULT_HOST, text
+    host = host or DEFAULT_HOST
+    try:
+        port_no = int(port)
+    except ValueError:
+        raise ConfigError(
+            f"malformed address {address!r}; expected HOST:PORT"
+        ) from None
+    if not 0 <= port_no <= 65535:
+        raise ConfigError(f"port {port_no} out of range in {address!r}")
+    return host, port_no
+
+
+def format_address(address: Tuple[str, int]) -> str:
+    """Inverse of :func:`parse_address`."""
+    return f"{address[0]}:{address[1]}"
+
+
+class MessageStream:
+    """Framed JSON messages over one connected socket.
+
+    Writes are serialized behind a lock so a worker's heartbeat thread
+    and its main loop never interleave bytes on the wire; each message
+    goes out as a single ``sendall``.  :meth:`recv` returns ``None``
+    on a clean EOF (the peer closed) and raises
+    :class:`ProtocolError` on garbage, so callers distinguish "worker
+    left" from "worker is speaking nonsense".
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self.sock = sock
+        self._reader = sock.makefile("rb")
+        self._wlock = threading.Lock()
+
+    def send(self, message: Dict[str, Any]) -> None:
+        """Frame and send one message (thread-safe)."""
+        data = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
+        if len(data) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"refusing to send a {len(data)}-byte message "
+                f"(max {MAX_LINE_BYTES})")
+        with self._wlock:
+            self.sock.sendall(data)
+
+    def recv(self) -> Optional[Dict[str, Any]]:
+        """Read one message; ``None`` on clean EOF."""
+        line = self._reader.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            return None
+        if len(line) > MAX_LINE_BYTES:
+            raise ProtocolError(
+                f"message exceeds {MAX_LINE_BYTES} bytes")
+        if not line.endswith(b"\n"):
+            return None  # torn tail: the peer died mid-send
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ProtocolError(f"undecodable message: {exc}") from exc
+        if not isinstance(message, dict) or not isinstance(
+                message.get("type"), str):
+            raise ProtocolError("messages must be objects with a "
+                                "string 'type'")
+        return message
+
+    def close(self) -> None:
+        """Close the underlying socket (never raises).
+
+        ``shutdown`` first: a thread blocked in :meth:`recv` holds the
+        buffered reader's lock, so closing the reader object here would
+        deadlock — waking the read with a shutdown and closing only the
+        raw socket lets that thread see EOF and release the lock.
+        """
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def expect(message: Optional[Dict[str, Any]],
+           *types: str) -> Dict[str, Any]:
+    """Assert a reply arrived and is one of ``types``."""
+    if message is None:
+        raise ProtocolError("connection closed mid-conversation")
+    if message["type"] not in types:
+        raise ProtocolError(
+            f"expected {' or '.join(types)}, got {message['type']!r}")
+    return message
+
+
+# ----------------------------------------------------------------------
+# Message constructors — one tiny function per type keeps every field
+# name in exactly one place.
+# ----------------------------------------------------------------------
+def hello(worker: str, sim: str, pid: int) -> Dict[str, Any]:
+    """Worker's opening message: identity + version pins."""
+    return {"type": "hello", "protocol": PROTOCOL_VERSION,
+            "sim": sim, "worker": worker, "pid": pid}
+
+
+def welcome(coordinator: str, lease_seconds: float,
+            heartbeat_seconds: float) -> Dict[str, Any]:
+    """Coordinator's acceptance: lease and heartbeat cadence."""
+    return {"type": "welcome", "coordinator": coordinator,
+            "lease_seconds": lease_seconds,
+            "heartbeat_seconds": heartbeat_seconds}
+
+
+def reject(reason: str) -> Dict[str, Any]:
+    """Coordinator's refusal (version mismatch, duplicate id...)."""
+    return {"type": "reject", "reason": reason}
+
+
+def request(worker: str) -> Dict[str, Any]:
+    """Worker asks for one lease."""
+    return {"type": "request", "worker": worker}
+
+
+def lease(spec_hash: str, spec_dict: Dict[str, Any], index: int,
+          attempt: int, lease_seconds: float,
+          fault=None) -> Dict[str, Any]:
+    """One job handed out: hash-addressed spec + fault directive."""
+    message = {"type": "lease", "hash": spec_hash, "spec": spec_dict,
+               "index": index, "attempt": attempt,
+               "lease_seconds": lease_seconds}
+    if fault is not None:
+        message["fault"] = list(fault)
+    return message
+
+
+def wait(seconds: float) -> Dict[str, Any]:
+    """Nothing grantable right now; ask again after ``seconds``."""
+    return {"type": "wait", "seconds": seconds}
+
+
+def drain(reason: str = "batch complete") -> Dict[str, Any]:
+    """No more work will ever come; the worker should exit."""
+    return {"type": "drain", "reason": reason}
+
+
+def heartbeat(worker: str, spec_hash: str) -> Dict[str, Any]:
+    """Liveness ping while a lease is running (one-way)."""
+    return {"type": "heartbeat", "worker": worker, "hash": spec_hash}
+
+
+def result(worker: str, spec_hash: str, attempt: int, status: str,
+           wall: float, summary: Optional[Dict[str, Any]] = None,
+           metrics: Optional[Dict[str, Any]] = None,
+           error: str = "", transient: bool = False) -> Dict[str, Any]:
+    """A finished lease: summary dict on success, error otherwise."""
+    message = {"type": "result", "worker": worker, "hash": spec_hash,
+               "attempt": attempt, "status": status,
+               "wall": round(wall, 6)}
+    if summary is not None:
+        message["summary"] = summary
+    if metrics is not None:
+        message["metrics"] = metrics
+    if error:
+        message["error"] = error
+    if transient:
+        message["transient"] = True
+    return message
+
+
+def ack() -> Dict[str, Any]:
+    """Coordinator's receipt of a result."""
+    return {"type": "ack"}
+
+
+def goodbye(worker: str, jobs_done: int) -> Dict[str, Any]:
+    """Worker's clean sign-off."""
+    return {"type": "goodbye", "worker": worker, "jobs_done": jobs_done}

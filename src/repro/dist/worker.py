@@ -1,0 +1,200 @@
+"""The fleet worker: pull leases, simulate, stream results home.
+
+A :class:`Worker` is a thin pump around the engine's single remote
+execution path, :func:`repro.runtime.engine._worker_entry` — the same
+function a ``ProcessPoolExecutor`` worker runs — so a job simulated by
+the fleet is bit-identical to one simulated by the in-process pool.
+Everything else here is plumbing: connect (with retry, so workers can
+start before their coordinator), handshake, heartbeat while a job
+runs, and convert exceptions into structured ``result`` messages the
+coordinator folds through its normal retry/failure machinery.
+
+Workers hold no durable state.  A worker that crashes mid-job simply
+disconnects; the coordinator reclaims the lease and retries it
+elsewhere.  Injected faults arrive *in the lease* (the coordinator
+consults its :class:`~repro.runtime.faults.FaultPlan`), so a chaos run
+needs no environment coordination across hosts.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional
+
+from repro.dist import protocol
+from repro.dist.protocol import (MessageStream, ProtocolError, expect,
+                                 parse_address)
+from repro.errors import ReproError, TransientError
+from repro.runtime.engine import _worker_entry
+from repro.runtime.jobspec import JobSpec
+from repro.sim import SIMULATOR_VERSION
+
+
+def default_worker_id() -> str:
+    """``hostname-pid``: unique per process, readable in dashboards."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class Worker:
+    """One lease-pulling simulation worker.
+
+    ``address`` is the coordinator's ``host:port``.  ``max_jobs``
+    bounds how many leases this worker will run before signing off
+    (``None`` = until drained); ``connect_timeout`` bounds how long
+    :meth:`run` keeps retrying the initial connect, so a fleet can be
+    launched workers-first.
+    """
+
+    def __init__(self, address: str, *,
+                 worker_id: Optional[str] = None,
+                 connect_timeout: float = 10.0,
+                 max_jobs: Optional[int] = None) -> None:
+        self.address = parse_address(address)
+        self.worker_id = worker_id or default_worker_id()
+        self.connect_timeout = float(connect_timeout)
+        self.max_jobs = max_jobs
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self._heartbeat_seconds = 1.0
+        self._stream: Optional[MessageStream] = None
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> MessageStream:
+        """Dial the coordinator, retrying until ``connect_timeout``."""
+        deadline = time.monotonic() + self.connect_timeout
+        delay = 0.05
+        while True:
+            try:
+                sock = socket.create_connection(self.address, timeout=10.0)
+                sock.settimeout(None)
+                return MessageStream(sock)
+            except OSError as exc:
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"could not reach coordinator at "
+                        f"{protocol.format_address(self.address)} within "
+                        f"{self.connect_timeout}s: {exc}") from exc
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+
+    def _handshake(self, stream: MessageStream) -> Dict[str, Any]:
+        stream.send(protocol.hello(self.worker_id, SIMULATOR_VERSION,
+                                   os.getpid()))
+        reply = expect(stream.recv(), "welcome", "reject")
+        if reply["type"] == "reject":
+            raise ReproError(
+                f"coordinator rejected worker {self.worker_id!r}: "
+                f"{reply.get('reason', 'no reason given')}")
+        self._heartbeat_seconds = float(
+            reply.get("heartbeat_seconds", 1.0))
+        return reply
+
+    # ------------------------------------------------------------------
+    def run(self) -> int:
+        """Serve leases until drained (or ``max_jobs``); returns jobs run."""
+        stream = self._connect()
+        self._stream = stream
+        try:
+            self._handshake(stream)
+            while True:
+                if (self.max_jobs is not None
+                        and self.jobs_done + self.jobs_failed
+                        >= self.max_jobs):
+                    stream.send(protocol.goodbye(self.worker_id,
+                                                 self.jobs_done))
+                    return self.jobs_done
+                stream.send(protocol.request(self.worker_id))
+                message = stream.recv()
+                if message is None:
+                    return self.jobs_done  # coordinator went away
+                kind = message["type"]
+                if kind == "lease":
+                    self._run_lease(stream, message)
+                elif kind == "wait":
+                    time.sleep(max(0.0, float(
+                        message.get("seconds", 0.1))))
+                elif kind == "drain":
+                    stream.send(protocol.goodbye(self.worker_id,
+                                                 self.jobs_done))
+                    return self.jobs_done
+                else:
+                    raise ProtocolError(
+                        f"unexpected reply {kind!r} to a request")
+        finally:
+            self._stream = None
+            stream.close()
+
+    # ------------------------------------------------------------------
+    def _run_lease(self, stream: MessageStream,
+                   lease: Dict[str, Any]) -> None:
+        """Execute one lease and send exactly one ``result``."""
+        spec_hash = str(lease["hash"])
+        attempt = int(lease.get("attempt", 1))
+        start = time.perf_counter()
+        try:
+            spec = JobSpec.from_dict(lease["spec"])
+        except Exception as exc:  # noqa: BLE001 - structured reply
+            self.jobs_failed += 1
+            stream.send(protocol.result(
+                self.worker_id, spec_hash, attempt, "failed",
+                time.perf_counter() - start,
+                error=f"undecodable spec: {type(exc).__name__}: {exc}"))
+            expect(stream.recv(), "ack")
+            return
+        derived = spec.content_hash()
+        if derived != spec_hash:
+            # The spec was corrupted (or tampered with) in flight; the
+            # hash is the job's identity, so refuse to run an imposter.
+            self.jobs_failed += 1
+            stream.send(protocol.result(
+                self.worker_id, spec_hash, attempt, "failed",
+                time.perf_counter() - start,
+                error=f"spec hash mismatch: wire says {spec_hash[:12]}, "
+                      f"decoded spec hashes to {derived[:12]}"))
+            expect(stream.recv(), "ack")
+            return
+
+        stop = threading.Event()
+        beats = threading.Thread(
+            target=self._heartbeat_loop, args=(stream, spec_hash, stop),
+            name="dist-heartbeat", daemon=True)
+        beats.start()
+        try:
+            fault = lease.get("fault")
+            data = _worker_entry(spec, tuple(fault) if fault else None)
+            metrics = data.pop("_metrics", None)
+            message = protocol.result(
+                self.worker_id, spec_hash, attempt, "ok",
+                time.perf_counter() - start, summary=data,
+                metrics=metrics)
+            self.jobs_done += 1
+        except TransientError as exc:
+            self.jobs_failed += 1
+            message = protocol.result(
+                self.worker_id, spec_hash, attempt, "failed",
+                time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}", transient=True)
+        except Exception as exc:  # noqa: BLE001 - deterministic failure
+            self.jobs_failed += 1
+            message = protocol.result(
+                self.worker_id, spec_hash, attempt, "failed",
+                time.perf_counter() - start,
+                error=f"{type(exc).__name__}: {exc}")
+        finally:
+            stop.set()
+            beats.join(timeout=2.0)
+        stream.send(message)
+        expect(stream.recv(), "ack")
+
+    def _heartbeat_loop(self, stream: MessageStream, spec_hash: str,
+                        stop: threading.Event) -> None:
+        """Ping liveness until the job finishes (writes are locked)."""
+        while not stop.wait(self._heartbeat_seconds):
+            try:
+                stream.send(protocol.heartbeat(self.worker_id,
+                                               spec_hash))
+            except OSError:
+                return  # the main loop will notice the dead socket

@@ -75,27 +75,35 @@ def _execute_spec(spec: JobSpec) -> Dict[str, Any]:
     return RunSummary.from_run_result(result).to_dict()
 
 
-def _pool_execute(spec: JobSpec, fault=None) -> Dict[str, Any]:
-    """Process-pool entry point: execute, then ship worker metrics.
+def _worker_entry(spec: JobSpec, fault=None) -> Dict[str, Any]:
+    """Worker entry point: execute one job, then ship worker metrics.
+
+    The single remote-execution path: ``ProcessPoolExecutor`` workers
+    submit it directly, and :class:`repro.dist.Worker` calls it for
+    every lease — so pool, fleet and serial runs cannot drift.
 
     ``fault`` is the parent-decided fault directive for this attempt
     (``None`` on the default path); applying it may kill the worker,
     hang, or raise before the job runs.  Attaches the worker
     registry's snapshot under ``"_metrics"`` and clears it, so the
     parent can fold worker-side metrics — kernel counters, phase and
-    stall cycles — into its own registry.  Only the pool path ships:
+    stall cycles — into its own registry.  Only remote paths ship:
     on the serial path the job already accumulates into the parent
     registry directly, and a snapshot+clear would wipe unrelated
     counters.  Dispatches through the module global so tests can
-    monkeypatch ``_execute_spec`` for both paths.
+    monkeypatch ``_execute_spec`` for every path.
     """
-    apply_worker_fault(fault)
+    apply_worker_fault(tuple(fault) if fault is not None else None)
     out = _execute_spec(spec)
     registry = get_registry()
     if registry.enabled:
         out["_metrics"] = registry.snapshot()
         registry.clear()
     return out
+
+
+#: Backwards-compatible alias (the pre-dist name of the pool entry).
+_pool_execute = _worker_entry
 
 
 def _absorb_metrics(data: Dict[str, Any]) -> Dict[str, Any]:
@@ -376,7 +384,7 @@ class BatchEngine:
                              if self.faults is not None else None)
                     futures.append(
                         (idx, spec, attempt, time.perf_counter(),
-                         pool.submit(_pool_execute, spec, fault))
+                         pool.submit(_worker_entry, spec, fault))
                     )
                 for idx, spec, attempt, start, future in futures:
                     if abort:

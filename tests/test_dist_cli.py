@@ -1,0 +1,92 @@
+"""CLI surface of the distributed fleet: serve, work, bench --dist.
+
+The round trip drives real ``repro serve`` / ``repro work``
+subprocesses over localhost TCP — the same path CI's chaos-fleet step
+exercises with a kill in the middle.
+"""
+
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    return env
+
+
+def test_serve_and_work_round_trip(tmp_path):
+    journal = tmp_path / "journal.jsonl"
+    serve = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--algorithm", "pagerank", "--datasets", "bio-human",
+         "--schedules", "vertex_map", "warp_map",
+         "--scale", "0.2", "--iterations", "1",
+         "--no-cache", "--journal", str(journal),
+         "--bind", "127.0.0.1:0", "--json"],
+        env=_env(), cwd=REPO_ROOT, stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True)
+    banner = serve.stdout.readline()
+    match = re.search(r"at (\S+);", banner)
+    assert match, f"no address in serve banner: {banner!r}"
+    address = match.group(1)
+
+    workers = [
+        subprocess.Popen(
+            [sys.executable, "-m", "repro", "work", address,
+             "--id", f"cli-w{i}", "--connect-timeout", "60"],
+            env=_env(), cwd=REPO_ROOT, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True)
+        for i in range(2)
+    ]
+    out, err = serve.communicate(timeout=300)
+    assert serve.returncode == 0, err
+
+    payload = json.loads(out.strip().splitlines()[-1])
+    assert [o["status"] for o in payload["outcomes"]] == ["ok", "ok"]
+    assert all(o["cycles"] for o in payload["outcomes"])
+    assert payload["fleet"]["batches_done"] == 1
+    jobs_by_worker = {w: info["jobs_ok"]
+                      for w, info in payload["fleet"]["workers"].items()}
+    assert sum(jobs_by_worker.values()) == 2
+
+    for proc in workers:
+        wout, werr = proc.communicate(timeout=60)
+        assert proc.returncode == 0, werr
+        assert "drained" in wout
+    # The journal holds both completions for a later --resume.
+    lines = [json.loads(l) for l in journal.read_text().splitlines()]
+    assert sum(1 for l in lines if "summary" in l) == 2
+
+
+def test_bench_rejects_dist_with_jobs(capsys):
+    code = main(["bench", "--smoke", "--figures", "fig10_pagerank",
+                 "--dist", "127.0.0.1:1", "--jobs", "2"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "--jobs does not apply with --dist" in captured.err
+
+
+def test_work_unreachable_coordinator_exits_2(capsys):
+    code = main(["work", "127.0.0.1:1", "--connect-timeout", "0.2"])
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "could not reach coordinator" in captured.err
+
+
+def test_cache_stats_json(capsys, tmp_path):
+    code = main(["cache", "stats", "--cache-dir", str(tmp_path),
+                 "--json"])
+    captured = capsys.readouterr()
+    assert code == 0
+    stats = json.loads(captured.out)
+    assert stats["entries"] == 0
+    assert {"hits", "misses", "stores"} <= set(stats)

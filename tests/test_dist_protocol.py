@@ -1,0 +1,147 @@
+"""Wire protocol of the distributed fleet: framing, parsing, safety."""
+
+import json
+import socket
+
+import pytest
+
+from repro.dist import protocol
+from repro.dist.protocol import (MessageStream, ProtocolError, expect,
+                                 format_address, parse_address)
+from repro.errors import ConfigError
+
+
+# ----------------------------------------------------------------------
+# address parsing
+# ----------------------------------------------------------------------
+def test_parse_address_host_and_port():
+    assert parse_address("example.org:7000") == ("example.org", 7000)
+    assert parse_address("127.0.0.1:0") == ("127.0.0.1", 0)
+
+
+def test_parse_address_bare_port_defaults_host():
+    assert parse_address("8012") == (protocol.DEFAULT_HOST, 8012)
+    assert parse_address(":8012") == (protocol.DEFAULT_HOST, 8012)
+
+
+@pytest.mark.parametrize("bad", ["host:", "host:abc", "", "a:b:c",
+                                 "host:70000", "host:-1"])
+def test_parse_address_rejects_garbage(bad):
+    with pytest.raises(ConfigError):
+        parse_address(bad)
+
+
+def test_format_address_inverts_parse():
+    addr = ("10.0.0.5", 9999)
+    assert parse_address(format_address(addr)) == addr
+
+
+# ----------------------------------------------------------------------
+# framing over a real socket pair
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def stream_pair():
+    left, right = socket.socketpair()
+    a, b = MessageStream(left), MessageStream(right)
+    yield a, b
+    a.close()
+    b.close()
+
+
+def test_send_recv_round_trip(stream_pair):
+    a, b = stream_pair
+    a.send(protocol.hello("w0", "sim-1", 123))
+    message = b.recv()
+    assert message["type"] == "hello"
+    assert message["worker"] == "w0"
+    assert message["protocol"] == protocol.PROTOCOL_VERSION
+
+
+def test_recv_returns_none_on_clean_eof(stream_pair):
+    a, b = stream_pair
+    a.close()
+    assert b.recv() is None
+
+
+def test_recv_returns_none_on_torn_tail(stream_pair):
+    a, b = stream_pair
+    # A peer that dies mid-send leaves bytes without the newline.
+    a.sock.sendall(b'{"type": "hel')
+    a.close()
+    assert b.recv() is None
+
+
+def test_recv_rejects_undecodable_line(stream_pair):
+    a, b = stream_pair
+    a.sock.sendall(b"not json at all\n")
+    with pytest.raises(ProtocolError):
+        b.recv()
+
+
+@pytest.mark.parametrize("line", [b"[1, 2]\n", b'{"no_type": 1}\n',
+                                  b'{"type": 7}\n', b"42\n"])
+def test_recv_rejects_untyped_messages(stream_pair, line):
+    a, b = stream_pair
+    a.sock.sendall(line)
+    with pytest.raises(ProtocolError):
+        b.recv()
+
+
+def test_send_refuses_oversized_message(stream_pair):
+    a, _b = stream_pair
+    huge = {"type": "result",
+            "blob": "x" * (protocol.MAX_LINE_BYTES + 1)}
+    with pytest.raises(ProtocolError):
+        a.send(huge)
+
+
+def test_close_is_idempotent(stream_pair):
+    a, _b = stream_pair
+    a.close()
+    a.close()  # must not raise
+
+
+# ----------------------------------------------------------------------
+# expect() and constructors
+# ----------------------------------------------------------------------
+def test_expect_passes_matching_type():
+    message = protocol.ack()
+    assert expect(message, "ack") is message
+    assert expect(message, "lease", "ack") is message
+
+
+def test_expect_raises_on_mismatch_and_eof():
+    with pytest.raises(ProtocolError):
+        expect(protocol.ack(), "lease")
+    with pytest.raises(ProtocolError):
+        expect(None, "ack")
+
+
+def test_constructors_are_json_safe():
+    messages = [
+        protocol.hello("w", "s", 1),
+        protocol.welcome("c", 30.0, 1.0),
+        protocol.reject("nope"),
+        protocol.request("w"),
+        protocol.lease("h" * 64, {"kind": "x"}, 3, 2, 30.0,
+                       fault=("crash", None)),
+        protocol.wait(0.2),
+        protocol.drain(),
+        protocol.heartbeat("w", "h" * 64),
+        protocol.result("w", "h" * 64, 1, "ok", 0.5,
+                        summary={"cycles": 9}, metrics={"m": 1}),
+        protocol.result("w", "h" * 64, 2, "failed", 0.1,
+                        error="boom", transient=True),
+        protocol.ack(),
+        protocol.goodbye("w", 4),
+    ]
+    for message in messages:
+        round_tripped = json.loads(json.dumps(message, sort_keys=True))
+        assert round_tripped == message
+        assert isinstance(message["type"], str)
+
+
+def test_lease_fault_serializes_as_list():
+    lease = protocol.lease("h", {}, 0, 1, 5.0, fault=("hang", 2.0))
+    assert lease["fault"] == ["hang", 2.0]
+    assert "fault" not in protocol.lease("h", {}, 0, 1, 5.0)

@@ -308,3 +308,79 @@ def test_killed_writer_never_leaves_a_torn_line(tmp_path):
     assert records
     assert [r["seq"] for r in records] == list(range(len(records)))
     assert path.read_text().endswith("\n")
+
+
+# ---------------------------------------------------------------- fleet
+FLEET_TELEMETRY = [
+    {"kind": "worker_joined", "job": "", "label": "", "time": 0.0,
+     "worker": "w0", "addr": "127.0.0.1:50001"},
+    {"kind": "worker_joined", "job": "", "label": "", "time": 0.1,
+     "worker": "w1", "addr": "127.0.0.1:50002"},
+    {"kind": "started", "job": "aaa", "label": "j1", "time": 0.2,
+     "worker": "w0"},
+    {"kind": "lease_result", "job": "aaa", "label": "j1", "time": 1.2,
+     "worker": "w0", "status": "ok", "wall": 1.0},
+    {"kind": "finished", "job": "aaa", "label": "j1", "time": 1.2,
+     "cycles": 100, "wall": 1.0},
+    {"kind": "started", "job": "bbb", "label": "j2", "time": 0.3,
+     "worker": "w1"},
+    {"kind": "lease_expired", "job": "bbb", "label": "j2", "time": 2.0,
+     "worker": "w1", "reason": "expired"},
+    {"kind": "lease_reclaimed", "job": "bbb", "label": "j2",
+     "time": 2.0, "worker": "w1", "reason": "disconnect"},
+    {"kind": "started", "job": "bbb", "label": "j2", "time": 2.1,
+     "worker": "w0"},
+    {"kind": "lease_result", "job": "bbb", "label": "j2", "time": 3.0,
+     "worker": "w0", "status": "ok", "wall": 0.9},
+    {"kind": "finished", "job": "bbb", "label": "j2", "time": 3.0,
+     "cycles": 200, "wall": 0.9},
+    {"kind": "lease_result", "job": "ccc", "label": "j3", "time": 3.1,
+     "worker": "w1", "status": "stale", "wall": 0.1},
+    {"kind": "worker_left", "job": "", "label": "", "time": 3.2,
+     "worker": "w0", "jobs": 2},
+]
+
+
+def test_batchwatch_folds_fleet_kinds():
+    watch = BatchWatch()
+    watch.update_all(FLEET_TELEMETRY)
+    snap = watch.snapshot()
+    assert snap["workers_seen"] == 2
+    assert snap["workers_alive"] == 1  # w0 left, w1 still connected
+    assert snap["leases_expired"] == 1
+    assert snap["leases_reclaimed"] == 1
+
+    fleet = watch.fleet()
+    assert list(fleet) == ["w0", "w1"]
+    assert fleet["w0"]["jobs_done"] == 2
+    assert fleet["w0"]["leases"] == 2
+    assert fleet["w0"]["alive"] is False
+    assert fleet["w0"]["busy_seconds"] == pytest.approx(1.9)
+    # elapsed is 3.2s of telemetry time: 2 jobs / 3.2s
+    assert fleet["w0"]["jobs_per_second"] == pytest.approx(0.625)
+    # A stale result counts as neither done nor failed.
+    assert fleet["w1"]["jobs_done"] == 0
+    assert fleet["w1"]["jobs_failed"] == 0
+    assert fleet["w1"]["alive"] is True
+
+
+def test_render_shows_fleet_section():
+    watch = BatchWatch()
+    watch.update_all(FLEET_TELEMETRY)
+    frame = render(watch, clock=0.0)
+    assert "1/2 workers alive" in frame
+    assert "1 leases expired" in frame
+    assert "1 reclaimed" in frame
+    assert "w0: gone 2 done" in frame
+    assert "w1: up" in frame
+
+
+def test_report_includes_fleet_section(tmp_path):
+    path = tmp_path / "fleet.jsonl"
+    write_jsonl(path, FLEET_TELEMETRY)
+    report = aggregate([path])
+    assert report["workers_seen"] == 2
+    assert report["fleet"]["w0"]["jobs_done"] == 2
+    text = format_report(report)
+    assert "fleet   : 1/2 workers alive" in text
+    assert "w0: 2 done" in text

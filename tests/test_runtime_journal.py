@@ -10,14 +10,17 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
+
+from hypothesis import given, settings, strategies as st
 
 from repro.graph import powerlaw_graph
 from repro.runtime import (AlgorithmSpec, BatchEngine, GraphSpec, JobSpec,
                            RunJournal, Telemetry, append_jsonl)
 from repro.runtime.journal import JOURNAL_SCHEMA
-from repro.sim import GPUConfig
+from repro.sim import SIMULATOR_VERSION, GPUConfig
 
 SCHEDULES = ["vertex_map", "edge_map", "warp_map", "sparseweaver"]
 
@@ -231,3 +234,113 @@ def test_sigint_then_resume_resimulates_nothing(tmp_path):
     kinds = [e["kind"] for e in events]
     assert kinds.count("resumed") == len(ALL_SCHEDULES)
     assert kinds.count("started") == 0
+
+
+# ------------------------------------------------ lease ledger properties
+def _complete_line(path, job_hash):
+    """A completion record as the engine would append it."""
+    append_jsonl(path, {
+        "schema": JOURNAL_SCHEMA,
+        "sim": SIMULATOR_VERSION,
+        "hash": job_hash,
+        "time": 0.0,
+        "summary": {"total_cycles": 1, "iterations": 1,
+                    "stats": {}, "values_digest": "d"},
+    })
+
+
+_HASHES = [format(i, "02d") * 32 for i in range(4)]
+_WORKERS = ["w0", "w1", "w2"]
+
+_LEASE_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("lease"), st.sampled_from(_HASHES),
+                  st.sampled_from(_WORKERS)),
+        st.tuples(st.just("reclaim"), st.sampled_from(_HASHES),
+                  st.sampled_from(_WORKERS)),
+        st.tuples(st.just("complete"), st.sampled_from(_HASHES),
+                  st.just("")),
+    ),
+    max_size=40,
+)
+
+
+@given(ops=_LEASE_OPS, writers=st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_interleaved_lease_ledger_matches_model(ops, writers):
+    """Any interleaving of lease/complete/reclaim records — appended
+    through several independent journal handles, as a coordinator and
+    concurrent CLI tools would — loads to the ledger a sequential fold
+    of the same operations predicts."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.jsonl"
+        handles = [RunJournal(path) for _ in range(writers)]
+        completed, model = set(), {}
+        for i, (kind, job_hash, worker) in enumerate(ops):
+            journal = handles[i % writers]  # round-robin the writers
+            if kind == "lease":
+                journal.record_lease(job_hash, worker, 30.0,
+                                     attempt=1)
+                model[job_hash] = worker
+            elif kind == "reclaim":
+                journal.record_reclaim(job_hash, worker, "expired")
+                model.pop(job_hash, None)
+            else:
+                _complete_line(path, job_hash)
+                completed.add(job_hash)
+                model.pop(job_hash, None)
+
+        loaded = RunJournal(path)
+        loaded.load()
+        active = loaded.active_leases()
+        expected = {h: w for h, w in model.items()
+                    if h not in completed}
+        assert {h: r["worker"] for h, r in active.items()} == expected
+        assert loaded.bad_lines == 0
+        assert loaded.hashes() == completed
+        for job_hash, worker in expected.items():
+            assert loaded.lease_holder(job_hash) == worker
+
+
+@given(ops=_LEASE_OPS)
+@settings(max_examples=30, deadline=None)
+def test_lease_ledger_survives_torn_line_mid_lease(ops):
+    """A writer killed mid-lease-append corrupts at most the records
+    physically adjacent to the tear; every other record still folds.
+
+    Regression: the torn prefix has no newline, so the next appended
+    line concatenates onto it — the loader must count one bad line
+    and keep going, never buffer forever or drop the rest."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.jsonl"
+        journal = RunJournal(path)
+        journal.record_lease(_HASHES[0], "w0", 30.0)
+        # The tear: a lease append that died after the first bytes.
+        with path.open("a") as handle:
+            handle.write('{"schema": 1, "type": "lease", "hash": "de')
+        completed, model = set(), {_HASHES[0]: "w0"}
+        for i, (kind, job_hash, worker) in enumerate(ops):
+            if kind == "lease":
+                journal.record_lease(job_hash, worker, 30.0)
+            elif kind == "reclaim":
+                journal.record_reclaim(job_hash, worker, "expired")
+            else:
+                _complete_line(path, job_hash)
+            if i == 0:
+                continue  # glued onto the torn prefix, lost with it
+            if kind == "lease":
+                model[job_hash] = worker
+            elif kind == "reclaim":
+                model.pop(job_hash, None)
+            else:
+                completed.add(job_hash)
+                model.pop(job_hash, None)
+
+        loaded = RunJournal(path)
+        loaded.load()
+        assert loaded.bad_lines == 1
+        expected = {h: w for h, w in model.items()
+                    if h not in completed}
+        active = loaded.active_leases()
+        assert {h: r["worker"] for h, r in active.items()} == expected
+        assert loaded.hashes() == completed
