@@ -41,11 +41,16 @@ PINNED_FIGURE = "fig10_pagerank"
 PINNED_SCALE = 0.05
 PINNED_JOBS = 1  # serial: one process, comparable across CI hosts
 
-#: Artifact schema; bump when the metric set changes shape.
-BENCH_SCHEMA = 1
+#: Artifact schema; bump (monotonically) when the payload changes
+#: shape.  2: added git_commit provenance + optional host_profile.
+BENCH_SCHEMA = 2
 
 #: Default regression tolerance for --check (fraction of baseline).
 DEFAULT_MAX_REGRESS = 0.25
+
+#: Rolling history every emission appends to (see ``repro perf``).
+DEFAULT_HISTORY = REPO_ROOT / "benchmarks" / "results" / \
+    "perf_history.jsonl"
 
 
 def _peak_rss_bytes() -> int:
@@ -97,9 +102,10 @@ def measure() -> dict:
 
 def build_artifact() -> dict:
     """The full BENCH_*.json payload (metrics + provenance)."""
+    from repro.obs.profile import get_profiler, git_commit
     from repro.sim import SIMULATOR_VERSION
 
-    return {
+    artifact = {
         "schema": BENCH_SCHEMA,
         "benchmark": "perf_trajectory",
         "subset": {
@@ -108,11 +114,19 @@ def build_artifact() -> dict:
             "engine_jobs": PINNED_JOBS,
         },
         "simulator_version": SIMULATOR_VERSION,
+        "git_commit": git_commit(REPO_ROOT),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "time": round(time.time(), 3),
         "metrics": measure(),
     }
+    profiler = get_profiler()
+    if profiler.enabled and profiler.kernels:
+        # REPRO_PROFILE=1 runs carry the per-phase rollup alongside
+        # the platform metrics so the history links wall-time shifts
+        # to the phase that moved.
+        artifact["host_profile"] = profiler.summary_payload()
+    return artifact
 
 
 def check(artifact: dict, baseline_path: Path,
@@ -147,6 +161,12 @@ def main(argv=None) -> int:
                         default=DEFAULT_MAX_REGRESS,
                         help="allowed fractional jobs/s drop for "
                              "--check (default 0.25)")
+    parser.add_argument("--history", default=str(DEFAULT_HISTORY),
+                        metavar="PATH",
+                        help="perf-history JSONL this emission appends "
+                             "to (read back by 'repro perf')")
+    parser.add_argument("--no-history", action="store_true",
+                        help="do not append to the perf history")
     args = parser.parse_args(argv)
 
     artifact = build_artifact()
@@ -156,6 +176,12 @@ def main(argv=None) -> int:
         out.write_text(json.dumps(artifact, indent=1, sort_keys=True)
                        + "\n")
         print(f"wrote {out}")
+    if not args.no_history:
+        from repro.obs.profile import PerfHistory
+
+        history = PerfHistory(args.history)
+        history.append(artifact)
+        print(f"appended to {history.path}")
     if args.check:
         return check(artifact, Path(args.check), args.max_regress)
     return 0

@@ -14,6 +14,7 @@ Commands
 ``cache``     inspect or clear the content-addressed result cache
 ``tail``      live dashboard over a batch telemetry JSONL file
 ``report``    aggregate telemetry/metrics files into one summary
+``perf``      perf-trajectory table over perf_history.jsonl
 """
 
 from __future__ import annotations
@@ -54,6 +55,11 @@ def _build_parser() -> argparse.ArgumentParser:
                             "loadable in chrome://tracing or Perfetto")
     run_p.add_argument("--trace-events", type=int, default=200_000,
                        help="instruction-trace bound for --trace")
+    run_p.add_argument("--profile", default=None, metavar="DIR",
+                       help="host-profile the simulator: per-phase "
+                            "wall-time table on stdout, profile.json + "
+                            "flamegraph.collapsed in DIR; sampler "
+                            "spans merge into --trace output")
 
     cmp_p = sub.add_parser("compare", help="all schedules, one workload")
     cmp_p.add_argument("--algorithm", default="pagerank",
@@ -120,6 +126,10 @@ def _build_parser() -> argparse.ArgumentParser:
     bench_p.add_argument("--lease-seconds", type=float, default=None,
                          help="fleet lease lifetime without a heartbeat "
                               "(with --dist; default 30)")
+    bench_p.add_argument("--profile", default=None, metavar="DIR",
+                         help="host-profile the simulator during the "
+                              "bench; writes profile.json + "
+                              "flamegraph.collapsed to DIR")
 
     sub.add_parser("datasets", help="Table III analog inventory")
 
@@ -191,6 +201,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="inject a deterministic fault plan, e.g. "
                               "'crash@1,corrupt@0,seed=7' (see "
                               "repro.runtime.faults; also REPRO_FAULTS)")
+    batch_p.add_argument("--profile", default=None, metavar="DIR",
+                         help="host-profile the simulator across the "
+                              "batch (worker snapshots fold into the "
+                              "parent); writes profile.json + "
+                              "flamegraph.collapsed to DIR; sampler "
+                              "spans merge into --trace output")
 
     serve_p = sub.add_parser(
         "serve",
@@ -237,6 +253,10 @@ def _build_parser() -> argparse.ArgumentParser:
                               "their leases, e.g. 'crash@1,seed=7'")
     serve_p.add_argument("--json", action="store_true",
                          help="print outcomes + fleet stats as JSON")
+    serve_p.add_argument("--profile", default=None, metavar="DIR",
+                         help="fold worker host-profile snapshots and "
+                              "write profile.json + "
+                              "flamegraph.collapsed to DIR")
 
     work_p = sub.add_parser(
         "work",
@@ -255,6 +275,9 @@ def _build_parser() -> argparse.ArgumentParser:
     work_p.add_argument("--obs", action="store_true",
                         help="enable the metrics registry; worker "
                              "metrics ship home with each result")
+    work_p.add_argument("--profile", action="store_true",
+                        help="enable the host profiler; per-phase "
+                             "snapshots ship home with each result")
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the result cache")
@@ -285,6 +308,26 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="telemetry .jsonl and/or metrics .json files")
     rep2_p.add_argument("--json", action="store_true",
                         help="emit the aggregate as JSON (CI artifacts)")
+
+    perf_p = sub.add_parser(
+        "perf",
+        help="perf-trajectory table over perf_history.jsonl: one row "
+             "per recorded bench emission, deltas vs. the previous "
+             "entry, regressions flagged with the CI speed-gate rule")
+    perf_p.add_argument("--history", default=None, metavar="PATH",
+                        help="perf history JSONL (default: "
+                             "benchmarks/results/perf_history.jsonl)")
+    perf_p.add_argument("--max-regress", type=float, default=None,
+                        help="fractional jobs/s drop vs. the previous "
+                             "entry that counts as a regression "
+                             "(default 0.25, the CI speed gate)")
+    perf_p.add_argument("--limit", type=int, default=None,
+                        help="show only the most recent N entries")
+    perf_p.add_argument("--check", action="store_true",
+                        help="exit 1 when the latest entry is a "
+                             "regression (CI gate)")
+    perf_p.add_argument("--json", action="store_true",
+                        help="emit the trajectory rows as JSON")
     return parser
 
 
@@ -305,12 +348,15 @@ def _cmd_run(args) -> int:
 
         tracer = Tracer()
         exec_tracer = ExecutionTracer(max_events=args.trace_events)
+    profiler, sampler = _start_profiling(args)
     result = run_single(
         _make_alg(args.algorithm, args.iterations), graph,
         args.schedule, config=GPUConfig.vortex_bench(),
         max_iterations=args.iterations,
         tracer=tracer, exec_tracer=exec_tracer,
     )
+    if sampler is not None:
+        sampler.stop()
     print(f"{args.algorithm} on {args.dataset} (analog {graph}) "
           f"under {args.schedule}:")
     print(f"  cycles:     {result.stats.total_cycles:,}")
@@ -322,13 +368,18 @@ def _cmd_run(args) -> int:
     if args.trace:
         from repro.obs.tracing import execution_trace_events
 
-        path = tracer.save(args.trace,
-                           execution_trace_events(exec_tracer))
+        extra = list(execution_trace_events(exec_tracer))
+        if sampler is not None:
+            # Host sampler spans share the tracer's perf_counter
+            # origin, so both clocks line up in one Perfetto view.
+            extra.extend(sampler.trace_events(epoch=tracer.epoch))
+        path = tracer.save(args.trace, extra)
         summary = exec_tracer.summary()
         note = (f" ({summary['dropped']} instruction events dropped "
                 "at the trace bound)" if summary["dropped"] else "")
         print(f"  trace:      {path} — open in chrome://tracing or "
               f"https://ui.perfetto.dev{note}")
+    _finish_profiling(args, profiler, sampler)
     return 0
 
 
@@ -396,6 +447,47 @@ def _print_failures(report, stream=None) -> None:
     print(report.format(), file=stream or sys.stderr)
 
 
+def _start_profiling(args):
+    """``--profile`` -> ``(profiler, sampler)``, both live.
+
+    Returns ``(None, None)`` when the flag is absent.  Enabling the
+    profiler also exports ``REPRO_PROFILE=1`` so pool workers spawned
+    later come up profiling and their snapshots fold back here.
+    """
+    if not getattr(args, "profile", None):
+        return None, None
+    from repro.obs.profile import StackSampler, enable_profiling
+
+    profiler = enable_profiling()
+    sampler = StackSampler()
+    sampler.start()
+    return profiler, sampler
+
+
+def _finish_profiling(args, profiler, sampler, quiet: bool = False
+                      ) -> None:
+    """Stop the sampler, print the phase table, write artifacts.
+
+    Writes ``profile.json`` (mergeable snapshot, accepted by
+    ``repro report``) and ``flamegraph.collapsed`` (collapsed stacks
+    for any flamegraph renderer) into the ``--profile`` directory.
+    ``quiet`` writes the artifacts without printing (``--json`` modes).
+    """
+    if profiler is None:
+        return
+    from pathlib import Path
+
+    sampler.stop()
+    out = Path(args.profile)
+    out.mkdir(parents=True, exist_ok=True)
+    profile_path = profiler.save(out / "profile.json")
+    flame_path = sampler.save_collapsed(out / "flamegraph.collapsed")
+    if not quiet:
+        print(profiler.format())
+        print(f"profile:    {profile_path}")
+        print(f"flamegraph: {flame_path}")
+
+
 def _cmd_bench(args) -> int:
     import time
     from pathlib import Path
@@ -435,6 +527,7 @@ def _cmd_bench(args) -> int:
                           "fleet's parallelism is its worker count")
     dist_options = ({"lease_seconds": args.lease_seconds}
                     if args.lease_seconds else None)
+    profiler, sampler = _start_profiling(args)
     start = time.perf_counter()
     outputs, report = run_figures_report(
         figures, ctx, jobs=args.jobs, cache=cache, telemetry=telemetry,
@@ -458,6 +551,7 @@ def _cmd_bench(args) -> int:
         title=f"{len(outputs)} figure(s) in {elapsed:.1f}s -> "
               f"{out_dir}"))
     print(telemetry.format_summary(cache))
+    _finish_profiling(args, profiler, sampler)
     if not report.ok:
         _print_failures(report)
         return 1
@@ -628,7 +722,10 @@ def _cmd_batch(args) -> int:
                          retries=args.retries, tracer=tracer,
                          journal=journal, faults=faults,
                          fail_fast=args.fail_fast)
+    profiler, sampler = _start_profiling(args)
     outcomes = engine.run(specs)
+    if sampler is not None:
+        sampler.stop()
 
     rows = _outcome_rows(outcomes)
     print(format_table(
@@ -641,7 +738,10 @@ def _cmd_batch(args) -> int:
 
         print(f"metrics snapshot: {get_registry().save(args.metrics)}")
     if tracer is not None:
-        print(f"engine trace: {tracer.save(args.trace)}")
+        extra = (sampler.trace_events(epoch=tracer.epoch)
+                 if sampler is not None else ())
+        print(f"engine trace: {tracer.save(args.trace, extra)}")
+    _finish_profiling(args, profiler, sampler)
     from repro.figures.driver import FailureReport
 
     report = FailureReport.from_outcomes(outcomes)
@@ -674,10 +774,13 @@ def _cmd_serve(args) -> int:
     print(f"coordinator serving {len(specs)} job(s) at "
           f"{coordinator.address}; start workers with "
           f"'repro work {coordinator.address}'", flush=True)
+    profiler, sampler = _start_profiling(args)
     try:
         outcomes = coordinator.run(specs)
     finally:
         coordinator.close()
+    if sampler is not None:
+        sampler.stop()
 
     fleet = coordinator.fleet_stats()
     if args.json:
@@ -701,6 +804,7 @@ def _cmd_serve(args) -> int:
             title=f"fleet batch of {len(specs)} jobs "
                   f"({len(fleet['workers'])} worker(s) seen)"))
         print(telemetry.format_summary(cache))
+    _finish_profiling(args, profiler, sampler, quiet=args.json)
     report = FailureReport.from_outcomes(outcomes)
     if not report.ok:
         _print_failures(report)
@@ -715,6 +819,10 @@ def _cmd_work(args) -> int:
         from repro.obs.metrics import enable_metrics
 
         enable_metrics()
+    if args.profile:
+        from repro.obs.profile import enable_profiling
+
+        enable_profiling()
     worker = Worker(args.address, worker_id=args.worker_id,
                     connect_timeout=args.connect_timeout,
                     max_jobs=args.max_jobs)
@@ -769,6 +877,41 @@ def _cmd_report(args) -> int:
     return 1 if report["failed"] else 0
 
 
+def _cmd_perf(args) -> int:
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.obs.profile import (DEFAULT_HISTORY, DEFAULT_MAX_REGRESS,
+                                   PerfHistory, format_trajectory)
+
+    path = (Path(args.history) if args.history
+            else Path(__file__).resolve().parents[2] / DEFAULT_HISTORY)
+    history = PerfHistory(path)
+    max_regress = (args.max_regress if args.max_regress is not None
+                   else DEFAULT_MAX_REGRESS)
+    rows = history.trajectory(max_regress=max_regress)
+    if args.limit:
+        rows = rows[-args.limit:]
+    if args.json:
+        print(json_mod.dumps(rows, sort_keys=True))
+    elif not rows:
+        print(f"no perf history at {path} — run "
+              "benchmarks/bench_perf_trajectory.py (or the CI speed "
+              "gate) to record an entry")
+    else:
+        print(format_trajectory(rows))
+        if history.bad_lines:
+            print(f"({history.bad_lines} torn/unreadable line(s) "
+                  "skipped)")
+    if args.check and rows and rows[-1]["verdict"] == "REGRESSION":
+        print(f"perf regression: jobs/s dropped "
+              f"{-rows[-1]['delta'] * 100:.1f}% vs. the previous "
+              f"entry (gate: {max_regress * 100:.0f}%)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -783,6 +926,7 @@ _COMMANDS = {
     "cache": _cmd_cache,
     "tail": _cmd_tail,
     "report": _cmd_report,
+    "perf": _cmd_perf,
 }
 
 

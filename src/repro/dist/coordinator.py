@@ -48,6 +48,7 @@ from repro.dist.protocol import (MessageStream, ProtocolError,
                                  format_address, parse_address)
 from repro.errors import ConfigError
 from repro.obs.metrics import get_registry
+from repro.obs.profile import get_profiler
 from repro.runtime.cache import RunSummary
 from repro.runtime.engine import BatchEngine
 from repro.runtime.jobspec import JobSpec
@@ -494,9 +495,17 @@ class Coordinator(BatchEngine):
                 return
             del self._leases[spec_hash]
             info = self._workers.get(worker)
+            extra: Dict[str, Any] = {}
+            if status == "ok" and isinstance(message.get("summary"),
+                                             dict):
+                cycles = message["summary"].get("total_cycles")
+                if cycles is not None:
+                    # Per-worker simulated throughput for the fleet
+                    # dashboard's host-profile view.
+                    extra["cycles"] = int(cycles)
             self.telemetry.emit("lease_result", lease.spec,
                                 worker=worker, status=status,
-                                wall=round(wall, 6))
+                                wall=round(wall, 6), **extra)
             if status == "ok":
                 try:
                     summary = RunSummary.from_dict(message["summary"])
@@ -509,6 +518,8 @@ class Coordinator(BatchEngine):
                     return
                 if message.get("metrics"):
                     get_registry().merge_snapshot(message["metrics"])
+                if message.get("profile"):
+                    get_profiler().merge_snapshot(message["profile"])
                 if info is not None:
                     info.jobs_ok += 1
                 get_registry().counter(

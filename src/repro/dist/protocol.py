@@ -209,8 +209,14 @@ def heartbeat(worker: str, spec_hash: str) -> Dict[str, Any]:
 def result(worker: str, spec_hash: str, attempt: int, status: str,
            wall: float, summary: Optional[Dict[str, Any]] = None,
            metrics: Optional[Dict[str, Any]] = None,
+           profile: Optional[Dict[str, Any]] = None,
            error: str = "", transient: bool = False) -> Dict[str, Any]:
-    """A finished lease: summary dict on success, error otherwise."""
+    """A finished lease: summary dict on success, error otherwise.
+
+    ``metrics`` and ``profile`` are the worker-side registry and
+    host-profiler snapshots (shipped only when those layers are
+    enabled on the worker); the coordinator folds them into its own.
+    """
     message = {"type": "result", "worker": worker, "hash": spec_hash,
                "attempt": attempt, "status": status,
                "wall": round(wall, 6)}
@@ -218,6 +224,8 @@ def result(worker: str, spec_hash: str, attempt: int, status: str,
         message["summary"] = summary
     if metrics is not None:
         message["metrics"] = metrics
+    if profile is not None:
+        message["profile"] = profile
     if error:
         message["error"] = error
     if transient:

@@ -166,10 +166,11 @@ class Worker:
             fault = lease.get("fault")
             data = _worker_entry(spec, tuple(fault) if fault else None)
             metrics = data.pop("_metrics", None)
+            profile = data.pop("_profile", None)
             message = protocol.result(
                 self.worker_id, spec_hash, attempt, "ok",
                 time.perf_counter() - start, summary=data,
-                metrics=metrics)
+                metrics=metrics, profile=profile)
             self.jobs_done += 1
         except TransientError as exc:
             self.jobs_failed += 1

@@ -16,6 +16,11 @@ stall breakdowns, Fig. 12 memory ratios):
   a live, refreshing terminal view of a running batch.
 * :mod:`repro.obs.report` — ``python -m repro report`` aggregation of
   telemetry sinks and metrics snapshots into one text/JSON summary.
+* :mod:`repro.obs.profile` — host-side self-profiler (wall-time per
+  simulator phase, per-opcode latency histograms, flamegraph
+  sampler) and the ``perf_history.jsonl`` trajectory store behind
+  ``python -m repro perf``.  Enable via ``REPRO_PROFILE=1`` or
+  :func:`enable_profiling`.
 """
 
 from repro.obs.metrics import (
@@ -27,6 +32,16 @@ from repro.obs.metrics import (
     enable_metrics,
     get_registry,
     metrics_enabled,
+    percentile_from_counts,
+)
+from repro.obs.profile import (
+    PerfHistory,
+    PhaseProfiler,
+    StackSampler,
+    disable_profiling,
+    enable_profiling,
+    get_profiler,
+    profiling_enabled,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -46,6 +61,14 @@ __all__ = [
     "enable_metrics",
     "get_registry",
     "metrics_enabled",
+    "percentile_from_counts",
+    "PerfHistory",
+    "PhaseProfiler",
+    "StackSampler",
+    "disable_profiling",
+    "enable_profiling",
+    "get_profiler",
+    "profiling_enabled",
     "NULL_TRACER",
     "Span",
     "Tracer",

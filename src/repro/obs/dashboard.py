@@ -83,6 +83,9 @@ class BatchWatch:
         self.failures: List[Dict[str, Any]] = []
         #: Fleet view (repro.dist): worker id -> live aggregate.
         self.workers: Dict[str, Dict[str, Any]] = {}
+        #: Host-profiler rollup (repro.obs.profile), when one was
+        #: emitted at batch end.
+        self.profile_summary: Optional[Dict[str, Any]] = None
 
     # ------------------------------------------------------------------
     def _fold_fleet(self, kind: str, record: Dict[str, Any]) -> None:
@@ -92,7 +95,7 @@ class BatchWatch:
             return
         info = self.workers.setdefault(worker, {
             "alive": False, "leases": 0, "jobs_done": 0,
-            "jobs_failed": 0, "busy_seconds": 0.0,
+            "jobs_failed": 0, "busy_seconds": 0.0, "cycles": 0,
         })
         if kind == "worker_joined":
             info["alive"] = True
@@ -104,6 +107,9 @@ class BatchWatch:
             status = record.get("status")
             if status == "ok":
                 info["jobs_done"] += 1
+                cycles = record.get("cycles")
+                if isinstance(cycles, (int, float)):
+                    info["cycles"] += int(cycles)
             elif status != "stale":
                 info["jobs_failed"] += 1
             wall = record.get("wall")
@@ -141,6 +147,8 @@ class BatchWatch:
             self.batch_summary = record
             if isinstance(record.get("cache"), dict):
                 self.cache_stats = record["cache"]
+        elif kind == "profile_summary":
+            self.profile_summary = record
 
     def update_all(self, records) -> None:
         """Fold a batch of records."""
@@ -212,6 +220,10 @@ class BatchWatch:
                 round(info["jobs_done"] / elapsed, 3)
                 if elapsed > 0 else 0.0)
             info["busy_seconds"] = round(info["busy_seconds"], 3)
+            cycles = info.get("cycles", 0)
+            info["cycles_per_second"] = (
+                round(cycles / info["busy_seconds"], 1)
+                if info["busy_seconds"] > 0 else 0.0)
             out[worker] = info
         return out
 
@@ -274,7 +286,24 @@ def render(watch: BatchWatch, clock: Optional[float] = None) -> str:
                 + (f", {info['jobs_failed']} failed"
                    if info["jobs_failed"] else "")
                 + f", {info['jobs_per_second']:.2f} jobs/s"
-                  f" ({info['busy_seconds']:.1f}s busy)")
+                  f" ({info['busy_seconds']:.1f}s busy)"
+                + (f", {info['cycles_per_second']:,.0f} cycles/s"
+                   if info.get("cycles_per_second") else ""))
+    if watch.profile_summary:
+        prof = watch.profile_summary
+        lines.append(
+            f"  profile : {prof.get('kernels', 0)} kernel(s), "
+            f"{prof.get('sim_wall_seconds', 0.0):.3f}s simulator wall, "
+            f"{prof.get('cycles_per_wall_second', 0.0):,.0f} cycles/s, "
+            f"{prof.get('coverage', 0.0) * 100:.1f}% coverage")
+        for entry in prof.get("top_phases", [])[:5]:
+            try:
+                name, seconds, calls = entry
+            except (TypeError, ValueError):
+                continue
+            lines.append(
+                f"    {name:<12} {float(seconds):>9.3f}s "
+                f"{int(calls):>12,} calls")
     for record in watch.recent:
         verb = record.get("kind", "?")
         extra = ""

@@ -42,6 +42,32 @@ def _labelset(labels: Dict[str, Any]) -> LabelSet:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def percentile_from_counts(bounds: Sequence[float],
+                           counts: Sequence[int],
+                           q: float) -> float:
+    """Estimate the ``q``-th percentile of a bucketed distribution.
+
+    ``bounds`` are the bucket upper bounds; ``counts`` holds one cell
+    per bound plus a final overflow cell (per-bucket counts, not
+    cumulative).  The estimate is the upper bound of the bucket the
+    ``q``-quantile sample falls in — the standard conservative answer
+    for pre-aggregated histograms.  Overflow samples report the last
+    finite bound; an empty distribution reports ``0.0``.
+    """
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile {q!r} out of range [0, 100]")
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    rank = q / 100.0 * total
+    seen = 0
+    for i, cell in enumerate(counts):
+        seen += cell
+        if seen >= rank and cell:
+            return float(bounds[i]) if i < len(bounds) else float(bounds[-1])
+    return float(bounds[-1])
+
+
 class _NoopInstrument:
     """Shared stand-in handed out by a disabled registry."""
 
@@ -150,6 +176,17 @@ class Histogram:
     def sum(self, **labels) -> float:
         """Sum of samples observed in one labelled series."""
         return self.values.get(_labelset(labels), {}).get("sum", 0.0)
+
+    def percentile(self, q: float, **labels) -> float:
+        """Bucketed ``q``-th percentile estimate of one labelled series.
+
+        See :func:`percentile_from_counts` for the estimation rule
+        (upper bound of the quantile's bucket; 0.0 when empty).
+        """
+        series = self.values.get(_labelset(labels))
+        if series is None:
+            return 0.0
+        return percentile_from_counts(self.buckets, series["counts"], q)
 
 
 # ----------------------------------------------------------------------

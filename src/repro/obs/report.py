@@ -16,16 +16,20 @@ from typing import Any, Dict, Iterable, List, Tuple
 
 from repro.errors import ReproError
 from repro.obs.dashboard import BatchWatch
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import MetricsRegistry, percentile_from_counts
+from repro.obs.profile import PhaseProfiler
 
 
 def classify_file(path) -> Tuple[str, Any]:
-    """Load one input file as ``("telemetry", records)`` or
-    ``("metrics", snapshot)``.
+    """Load one input file as ``("telemetry", records)``,
+    ``("metrics", snapshot)`` or ``("profile", snapshot)``.
 
     Telemetry sinks are JSONL (one event object per line); metrics
     snapshots are a single JSON object with a top-level ``"metrics"``
-    key.  Anything else is rejected with a :class:`ReproError`.
+    key; host-profiler snapshots
+    (:meth:`~repro.obs.profile.PhaseProfiler.save`) have a top-level
+    ``"profile"`` key.  Anything else is rejected with a
+    :class:`ReproError`.
     """
     path = Path(path)
     try:
@@ -42,6 +46,8 @@ def classify_file(path) -> Tuple[str, Any]:
             doc = None
         if isinstance(doc, dict) and "metrics" in doc:
             return "metrics", doc
+        if isinstance(doc, dict) and "profile" in doc:
+            return "profile", doc
     records = []
     for i, line in enumerate(stripped.splitlines()):
         line = line.strip()
@@ -63,9 +69,10 @@ def classify_file(path) -> Tuple[str, Any]:
 def aggregate(paths: Iterable) -> Dict[str, Any]:
     """Fold every input file into one report dict."""
     registry = MetricsRegistry(enabled=True)
+    profiler = PhaseProfiler(enabled=True)
     combined = BatchWatch()
     files: List[Dict[str, Any]] = []
-    metrics_files = 0
+    metrics_files = profile_files = 0
     for path in paths:
         kind, payload = classify_file(path)
         if kind == "metrics":
@@ -73,6 +80,13 @@ def aggregate(paths: Iterable) -> Dict[str, Any]:
             metrics_files += 1
             files.append({"path": str(path), "kind": "metrics",
                           "metrics": len(payload.get("metrics", {}))})
+            continue
+        if kind == "profile":
+            profiler.merge_snapshot(payload)
+            profile_files += 1
+            files.append({"path": str(path), "kind": "profile",
+                          "phases": len(payload.get("profile", {})
+                                        .get("phases", {}))})
             continue
         watch = BatchWatch()
         watch.update_all(payload)
@@ -94,6 +108,18 @@ def aggregate(paths: Iterable) -> Dict[str, Any]:
         report["cache"] = combined.cache_stats
     if metrics_files:
         report["metrics"] = registry.snapshot()["metrics"]
+    if profile_files:
+        report["host_profile"] = profiler.summary()
+    elif combined.profile_summary is not None:
+        # No standalone snapshot files, but the telemetry stream
+        # carried a batch-end rollup — surface that one instead.
+        report["host_profile"] = {
+            k: combined.profile_summary[k]
+            for k in ("kernels", "sim_wall_seconds",
+                      "cycles_per_wall_second", "coverage",
+                      "top_phases")
+            if k in combined.profile_summary
+        }
     return report
 
 
@@ -135,12 +161,37 @@ def format_report(report: Dict[str, Any]) -> str:
                 + (f", {info['jobs_failed']} failed"
                    if info.get("jobs_failed") else "")
                 + f", {info['jobs_per_second']:.2f} jobs/s")
+    profile = report.get("host_profile")
+    if profile:
+        lines.append(
+            f"  profile : {profile.get('kernels', 0)} kernel(s), "
+            f"{profile.get('sim_wall_seconds', 0.0):.3f}s simulator "
+            f"wall, {profile.get('cycles_per_wall_second', 0.0):,.0f} "
+            f"cycles/s, {profile.get('coverage', 0.0) * 100:.1f}% "
+            f"coverage")
+        phases = profile.get("phases")
+        if phases:
+            for p in phases[:8]:
+                lines.append(
+                    f"    {p['phase']:<12} {p['seconds']:>9.3f}s "
+                    f"{p['share'] * 100:>5.1f}%  "
+                    f"{p['calls']:>12,} calls")
+        else:
+            for entry in profile.get("top_phases", [])[:8]:
+                name, seconds, calls = entry
+                lines.append(
+                    f"    {name:<12} {float(seconds):>9.3f}s "
+                    f"{int(calls):>12,} calls")
     for failure in report.get("failures", []):
         lines.append(f"  FAILED  : {failure['label']}: {failure['error']}")
     for entry in report["files"]:
         if entry["kind"] == "telemetry":
             lines.append(
                 f"  file    : {entry['path']} ({entry['events']} events)")
+        elif entry["kind"] == "profile":
+            lines.append(
+                f"  file    : {entry['path']} "
+                f"({entry['phases']} profiled phase(s))")
         else:
             lines.append(
                 f"  file    : {entry['path']} "
@@ -151,9 +202,24 @@ def format_report(report: Dict[str, Any]) -> str:
         for name in sorted(metrics):
             entry = metrics[name]
             if entry.get("kind") == "histogram":
-                total = sum(s.get("count", 0)
-                            for s in entry.get("series", []))
-                lines.append(f"    {name} (histogram, {total} samples)")
+                # Percentile estimates over every labelled series
+                # merged — readable at a glance, unlike bucket dumps.
+                bounds = entry.get("buckets", [])
+                merged = [0] * (len(bounds) + 1)
+                total = 0
+                for s in entry.get("series", []):
+                    total += s.get("count", 0)
+                    for i, c in enumerate(s.get("counts", [])):
+                        if i < len(merged):
+                            merged[i] += c
+                line = f"    {name} (histogram, {total} samples"
+                if total and bounds:
+                    p50 = percentile_from_counts(bounds, merged, 50)
+                    p90 = percentile_from_counts(bounds, merged, 90)
+                    p99 = percentile_from_counts(bounds, merged, 99)
+                    line += (f"; p50<={p50:g} p90<={p90:g} "
+                             f"p99<={p99:g}")
+                lines.append(line + ")")
             else:
                 total = sum(s.get("value", 0.0)
                             for s in entry.get("series", []))

@@ -75,6 +75,16 @@ class Tracer:
         self._t0 = time.perf_counter()
 
     # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> float:
+        """``perf_counter`` origin of this tracer's wall clock.
+
+        External event producers (the host :class:`~repro.obs.profile.
+        StackSampler`) anchor their timestamps here so their spans line
+        up with this tracer's in one Perfetto view.
+        """
+        return self._t0
+
     def now_us(self) -> float:
         """Microseconds since this tracer was created."""
         return (time.perf_counter() - self._t0) * 1e6

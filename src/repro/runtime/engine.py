@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigError, ReproError, TransientError
 from repro.obs.metrics import get_registry
+from repro.obs.profile import get_profiler
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.runtime.cache import ResultCache, RunSummary
 from repro.runtime.faults import (apply_serial_fault, apply_worker_fault,
@@ -99,6 +100,12 @@ def _worker_entry(spec: JobSpec, fault=None) -> Dict[str, Any]:
     if registry.enabled:
         out["_metrics"] = registry.snapshot()
         registry.clear()
+    profiler = get_profiler()
+    if profiler.enabled and profiler.kernels:
+        # Same contract as "_metrics": ship the delta home and reset,
+        # so the parent's profiler aggregates every worker's phases.
+        out["_profile"] = profiler.snapshot()
+        profiler.clear()
     return out
 
 
@@ -107,10 +114,13 @@ _pool_execute = _worker_entry
 
 
 def _absorb_metrics(data: Dict[str, Any]) -> Dict[str, Any]:
-    """Merge a worker's shipped metrics snapshot into this process."""
+    """Merge a worker's shipped metrics/profile snapshots locally."""
     snap = data.pop("_metrics", None)
     if snap:
         get_registry().merge_snapshot(snap)
+    prof = data.pop("_profile", None)
+    if prof:
+        get_profiler().merge_snapshot(prof)
     return data
 
 
@@ -233,6 +243,12 @@ class BatchEngine:
             else:
                 self._run_parallel(pending, outcomes)
 
+        profiler = get_profiler()
+        if profiler.enabled and profiler.kernels:
+            # Before batch_summary: followers (repro tail) stop at the
+            # summary event, so the profile must already be on disk.
+            self.telemetry.emit("profile_summary", None,
+                                **profiler.summary_payload())
         self.telemetry.emit_batch_summary(cache=self.cache)
         return [outcomes[i] for i in range(len(specs))]
 

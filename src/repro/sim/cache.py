@@ -8,6 +8,7 @@ making move-to-front cheap.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable
 
 from repro.sim.config import CacheConfig
@@ -17,7 +18,8 @@ from repro.sim.stats import CacheStats
 class Cache:
     """One cache level."""
 
-    __slots__ = ("config", "name", "stats", "_sets", "_set_mask")
+    __slots__ = ("config", "name", "stats", "_sets", "_set_mask",
+                 "_phase")
 
     def __init__(self, config: CacheConfig, name: str) -> None:
         self.config = config
@@ -25,9 +27,19 @@ class Cache:
         self.stats = CacheStats()
         self._sets = [[] for _ in range(config.num_sets)]
         self._set_mask = config.num_sets - 1
+        # Host-profiler phase: "L1[3]" -> "mem/l1" (nested under the
+        # top-level execute phase, see repro.obs.profile).
+        self._phase = "mem/" + name.split("[", 1)[0].lower()
 
-    def lookup(self, line: int) -> bool:
-        """Access ``line``; returns True on hit. Misses allocate."""
+    def lookup(self, line: int, prof=None) -> bool:
+        """Access ``line``; returns True on hit. Misses allocate.
+
+        ``prof`` is an enabled :class:`~repro.obs.profile.PhaseProfiler`
+        (or ``None``): lookups are the memory model's hot path, so the
+        caller pre-resolves the enabled check instead of this method
+        consulting the global each call.
+        """
+        start = perf_counter() if prof is not None else 0.0
         if self._set_mask >= 0 and (self._set_mask & (self._set_mask + 1)) == 0:
             index = line & self._set_mask
         else:  # non-power-of-two set count
@@ -38,12 +50,16 @@ class Cache:
                 ways.remove(line)
                 ways.insert(0, line)
             self.stats.hits += 1
-            return True
-        self.stats.misses += 1
-        ways.insert(0, line)
-        if len(ways) > self.config.ways:
-            ways.pop()
-        return False
+            hit = True
+        else:
+            self.stats.misses += 1
+            ways.insert(0, line)
+            if len(ways) > self.config.ways:
+                ways.pop()
+            hit = False
+        if prof is not None:
+            prof.add(self._phase, perf_counter() - start)
+        return hit
 
     def contains(self, line: int) -> bool:
         """Non-mutating presence check (no stats, no LRU update)."""

@@ -23,12 +23,14 @@ Execution model (DESIGN.md §5):
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Dict, Iterator, Optional
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.obs.metrics import get_registry
+from repro.obs.profile import get_profiler
 from repro.sim.config import GPUConfig
 from repro.sim.instructions import Instr, Op, Phase, as_index_array
 from repro.sim.memory import MemoryHierarchy
@@ -135,6 +137,13 @@ class GPU:
         registry = get_registry()
         cache_before = (self.memory.cache_counts() if registry.enabled
                         else None)
+        # Host-side profiler: every hook below hides behind this one
+        # local truth test, so a disabled profiler costs one comparison
+        # per section and reads no clocks — simulated cycle counts are
+        # bit-identical either way (perf_counter never feeds the sim).
+        profiler = get_profiler()
+        prof_on = profiler.enabled
+        kernel_start = perf_counter() if prof_on else 0.0
 
         cores = []
         units: Dict[int, Any] = {}
@@ -153,10 +162,13 @@ class GPU:
                 units[core_id] = unit_factory(core_id)
             if any(w.state == _RUNNING for w in warps):
                 heapq.heappush(heap, (0, core_id))
+        if prof_on:
+            profiler.add("setup", perf_counter() - kernel_start)
 
         core_time = [0] * cfg.num_cores
         issued = 0
         while heap:
+            sched_start = perf_counter() if prof_on else 0.0
             t, core_id = heapq.heappop(heap)
             warps = cores[core_id]
             running = [w for w in warps if w.state == _RUNNING]
@@ -177,6 +189,8 @@ class GPU:
                         w.state = _RUNNING
                         w.ready = release
                     heapq.heappush(heap, (release, core_id))
+                if prof_on:
+                    profiler.add("schedule", perf_counter() - sched_start)
                 continue
 
             warp = min(running, key=_ready_of)
@@ -191,6 +205,9 @@ class GPU:
                 if record_stall is not None:
                     record_stall(t, core_id, warp.slot, cat, gap)
                 t = warp.ready
+            if prof_on:
+                kernel_gen_start = perf_counter()
+                profiler.add("schedule", kernel_gen_start - sched_start)
 
             try:
                 instr = warp.gen.send(warp.response)
@@ -200,12 +217,22 @@ class GPU:
                 if any(w.state != _DONE for w in warps):
                     heapq.heappush(heap, (t, core_id))
                 core_time[core_id] = max(core_time[core_id], t)
+                if prof_on:
+                    profiler.add("kernel",
+                                 perf_counter() - kernel_gen_start)
                 continue
             warp.response = None
+            if prof_on:
+                execute_start = perf_counter()
+                profiler.add("kernel", execute_start - kernel_gen_start)
 
             issue_cost, done = self._execute(
                 instr, core_id, warp, t, units.get(core_id), stats
             )
+            if prof_on:
+                account_start = perf_counter()
+                profiler.add_op(instr.op.name,
+                                account_start - execute_start)
             if tracer is not None and instr.op != Op.COUNTER:
                 tracer.record(t, core_id, warp.slot, instr.op,
                               instr.phase, done)
@@ -225,7 +252,10 @@ class GPU:
             t += issue_cost
             core_time[core_id] = max(core_time[core_id], t)
             heapq.heappush(heap, (t, core_id))
+            if prof_on:
+                profiler.add("account", perf_counter() - account_start)
 
+        finalize_start = perf_counter() if prof_on else 0.0
         for core_id, warps in enumerate(cores):
             pending = [w for w in warps if w.state == _BARRIER]
             if pending:
@@ -245,6 +275,10 @@ class GPU:
             registry.publish_kernel_stats(stats)
             self.memory.publish_metrics(registry, cache_before,
                                         stats.dram_accesses)
+        if prof_on:
+            end = perf_counter()
+            profiler.add("finalize", end - finalize_start)
+            profiler.end_kernel(stats.total_cycles, end - kernel_start)
         return stats
 
     # ------------------------------------------------------------------

@@ -11,11 +11,13 @@ line throughput charge.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigError, SimulationError
+from repro.obs.profile import get_profiler
 from repro.sim.cache import Cache, publish_cache_metrics
 from repro.sim.config import GPUConfig
 from repro.sim.stats import CacheStats
@@ -118,7 +120,8 @@ class MemoryHierarchy:
         addrs = region.base + indices * region.itemsize
         return np.unique(addrs >> self._line_shift)
 
-    def access_line(self, core_id: int, line: int, now: int = 0) -> int:
+    def access_line(self, core_id: int, line: int, now: int = 0,
+                    prof=None) -> int:
         """Walk the hierarchy for one line; returns its latency.
 
         DRAM fills additionally queue behind a shared memory-controller
@@ -127,15 +130,23 @@ class MemoryHierarchy:
         hidden by warp-level parallelism. This is the bandwidth term
         that makes graph processing memory-intensive (Fig. 12) and
         charges S_em for its doubled edge reads.
+
+        ``prof`` is an enabled host profiler (or ``None``), threaded
+        down into the per-level lookups.
         """
         cfg = self.config
-        if self.l1[core_id].lookup(line):
+        if self.l1[core_id].lookup(line, prof):
             return cfg.l1.hit_latency
-        if self.l2 is not None and self.l2.lookup(line):
+        if self.l2 is not None and self.l2.lookup(line, prof):
             return cfg.l2.hit_latency
-        if self.l3 is not None and self.l3.lookup(line):
+        if self.l3 is not None and self.l3.lookup(line, prof):
             return cfg.l3.hit_latency
         self.dram_accesses += 1
+        if prof is not None:
+            # Count-only phase: the fill arithmetic below is trivial,
+            # but the fill *rate* is what a vectorized memory model
+            # must reproduce, so it earns a call counter.
+            prof.add("mem/dram", 0.0)
         start = max(now, self._dram_free)
         self._dram_free = start + cfg.dram_service_cycles
         return (start - now) + cfg.dram_latency_cycles
@@ -152,15 +163,22 @@ class MemoryHierarchy:
         """
         if not 0 <= core_id < len(self.l1):
             raise SimulationError(f"core id {core_id} out of range")
+        profiler = get_profiler()
+        prof = profiler if profiler.enabled else None
+        start = perf_counter() if prof is not None else 0.0
         lines = self.lines_for(region, indices)
         if lines.size == 0:
+            if prof is not None:
+                prof.add("mem/access", perf_counter() - start)
             return 0, 0
         worst = 0
         for line in lines.tolist():
-            latency = self.access_line(core_id, line, now)
+            latency = self.access_line(core_id, line, now, prof)
             if latency > worst:
                 worst = latency
         total = worst + (lines.size - 1) * self.config.line_throughput
+        if prof is not None:
+            prof.add("mem/access", perf_counter() - start)
         return total, int(lines.size)
 
     # ------------------------------------------------------------------

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from enum import IntEnum
 from typing import Dict, Tuple
 
+from repro.obs.profile import phase as _host_phase
 from repro.sim.instructions import Op, Phase, PHASE_LABELS
 
 
@@ -123,7 +124,14 @@ class KernelStats:
         """Accumulate another kernel's stats (multi-kernel algorithms).
 
         ``total_cycles`` adds because kernels run back-to-back.
+        Host-profiled as ``stats/merge`` — iterative algorithms merge
+        per-iteration stats thousands of times, and the stall-cell
+        dict can dominate that cost.
         """
+        with _host_phase("stats/merge"):
+            self._merge(other)
+
+    def _merge(self, other: "KernelStats") -> None:
         self.total_cycles += other.total_cycles
         self.instructions += other.instructions
         self.warps_launched += other.warps_launched

@@ -93,3 +93,94 @@ def test_reproduce_runs_matching_bench():
     )
     assert proc.returncode == 0
     assert "Table IV" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# --profile and the perf trajectory command
+# ----------------------------------------------------------------------
+def test_run_profile_writes_artifacts(capsys, tmp_path):
+    from repro.obs.profile import (disable_profiling, get_profiler,
+                                   profiling_enabled)
+
+    assert not profiling_enabled()
+    try:
+        code, out = run_cli(
+            capsys, "run", "--dataset", "bio-human", "--scale", "0.2",
+            "--iterations", "1",
+            "--profile", str(tmp_path / "prof"),
+            "--trace", str(tmp_path / "trace.json"))
+    finally:
+        get_profiler().clear()
+        disable_profiling()
+    assert code == 0
+    assert "host profile:" in out
+    assert "% phase coverage" in out
+    assert (tmp_path / "prof" / "profile.json").exists()
+    assert (tmp_path / "prof" / "flamegraph.collapsed").exists()
+    import json
+
+    doc = json.loads((tmp_path / "trace.json").read_text())
+    cats = {e.get("cat") for e in doc["traceEvents"]}
+    # Simulated-cycle rows and host-sampler rows share the file.
+    assert "stall" in cats
+
+
+def test_batch_profile_folds_worker_snapshots(capsys, tmp_path):
+    from repro.obs.profile import (disable_profiling, get_profiler,
+                                   profiling_enabled)
+
+    assert not profiling_enabled()
+    try:
+        code, out = run_cli(
+            capsys, "batch", "--datasets", "bio-human",
+            "--schedules", "vertex_map", "--scale", "0.2",
+            "--iterations", "1", "--jobs", "2", "--no-cache",
+            "--profile", str(tmp_path / "prof"))
+    finally:
+        get_profiler().clear()
+        disable_profiling()
+    assert code == 0
+    assert "host profile:" in out
+    assert "execute" in out
+    assert (tmp_path / "prof" / "profile.json").exists()
+
+
+def test_perf_empty_history(capsys, tmp_path):
+    code, out = run_cli(capsys, "perf", "--history",
+                        str(tmp_path / "none.jsonl"))
+    assert code == 0
+    assert "no perf history" in out
+
+
+def test_perf_table_check_and_json(capsys, tmp_path):
+    import json
+
+    from repro.obs.profile import PerfHistory
+
+    history = PerfHistory(tmp_path / "hist.jsonl")
+    base = {"schema": 2, "git_commit": "c" * 40, "time": 1.0,
+            "simulator_version": 1}
+    for rate in (100.0, 95.0, 20.0):
+        history.append({**base,
+                        "metrics": {"jobs_per_second": rate,
+                                    "simulated_cycles_per_second": 1.0,
+                                    "peak_rss_bytes": 2 ** 20}})
+    code, out = run_cli(capsys, "perf", "--history", str(history.path))
+    assert code == 0
+    assert "REGRESSION" in out and "cccccccccccc" in out
+
+    code, _out = run_cli(capsys, "perf", "--history",
+                         str(history.path), "--check")
+    assert code == 1
+
+    # A permissive gate clears the check.
+    code, _out = run_cli(capsys, "perf", "--history",
+                         str(history.path), "--check",
+                         "--max-regress", "0.9")
+    assert code == 0
+
+    code, out = run_cli(capsys, "perf", "--history",
+                        str(history.path), "--json", "--limit", "1")
+    assert code == 0
+    rows = json.loads(out)
+    assert len(rows) == 1 and rows[0]["verdict"] == "REGRESSION"

@@ -446,3 +446,38 @@ def test_fleet_metrics_ship_home(tmp_path):
     finally:
         registry.clear()
         registry.enabled = was_enabled
+
+
+def test_fleet_profile_snapshots_ship_home(tmp_path):
+    """Worker host-profiles ride the result messages and merge back."""
+    from repro.obs.profile import (disable_profiling, enable_profiling,
+                                   profiling_enabled)
+
+    was_enabled = profiling_enabled()
+    profiler = enable_profiling()
+    profiler.clear()
+    try:
+        sink = tmp_path / "events.jsonl"
+        specs = fleet_specs(2)
+        with Coordinator("127.0.0.1:0",
+                         telemetry=Telemetry(sink)) as coord:
+            _workers, threads = start_workers(coord.address, 1)
+            outcomes = coord.run(specs)
+        join_all(threads)
+        assert [o.status for o in outcomes] == ["ok", "ok"]
+        # Workers snapshot-and-clear per job; the coordinator's merge
+        # is the only place totals accumulate.
+        assert profiler.kernels >= 2
+        assert "execute" in profiler.phases
+        assert profiler.coverage() > 0
+        import json
+
+        leases = [json.loads(line) for line in
+                  sink.read_text().splitlines()
+                  if json.loads(line)["kind"] == "lease_result"]
+        assert leases and all(r.get("cycles", 0) > 0 for r in leases
+                              if r["status"] == "ok")
+    finally:
+        profiler.clear()
+        if not was_enabled:
+            disable_profiling()

@@ -197,3 +197,41 @@ def test_kernel_stats_publish_via_global(global_metrics):
         run.stats.total_cycles)
     phases = global_metrics.get("sim_phase_cycles_total")
     assert phases.total() == sum(run.stats.phase_cycles.values())
+
+
+# ----------------------------------------------------------------------
+# Percentile estimation over bucketed histograms
+# ----------------------------------------------------------------------
+def test_percentile_from_counts_basic():
+    from repro.obs.metrics import percentile_from_counts
+
+    bounds = (1.0, 2.0, 4.0)
+    counts = [5, 3, 1, 1]  # <=1, <=2, <=4, overflow
+    assert percentile_from_counts(bounds, counts, 50) == 1.0
+    assert percentile_from_counts(bounds, counts, 80) == 2.0
+    assert percentile_from_counts(bounds, counts, 90) == 4.0
+    # The overflow bucket has no upper bound; report the last finite.
+    assert percentile_from_counts(bounds, counts, 100) == 4.0
+
+
+def test_percentile_from_counts_edges():
+    from repro.obs.metrics import percentile_from_counts
+
+    assert percentile_from_counts((1.0, 2.0), [0, 0, 0], 50) == 0.0
+    # q=0 lands in the first non-empty bucket.
+    assert percentile_from_counts((1.0, 2.0), [0, 3, 0], 0) == 2.0
+    with pytest.raises(ValueError):
+        percentile_from_counts((1.0,), [1, 0], 101)
+    with pytest.raises(ValueError):
+        percentile_from_counts((1.0,), [1, 0], -1)
+
+
+def test_histogram_percentile_method(registry):
+    h = registry.histogram("wall", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.05, 0.5, 0.5, 0.5, 5.0):
+        h.observe(v)
+    assert h.percentile(50) == 1.0
+    assert h.percentile(99) == 10.0
+    h.observe(0.01, pool="a")
+    assert h.percentile(50, pool="a") == 0.1
+    assert h.percentile(50, pool="missing") == 0.0
