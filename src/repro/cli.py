@@ -15,6 +15,7 @@ Commands
 ``tail``      live dashboard over a batch telemetry JSONL file
 ``report``    aggregate telemetry/metrics files into one summary
 ``perf``      perf-trajectory table over perf_history.jsonl
+``diff``      first-divergence localization between two runs' ledgers
 """
 
 from __future__ import annotations
@@ -328,6 +329,35 @@ def _build_parser() -> argparse.ArgumentParser:
                              "regression (CI gate)")
     perf_p.add_argument("--json", action="store_true",
                         help="emit the trajectory rows as JSON")
+
+    diff_p = sub.add_parser(
+        "diff",
+        help="compare two runs' provenance digest ledgers "
+             "(REPRO_DIGEST=1 runs) and localize the first diverging "
+             "(kernel, interval, core, warp) coordinate")
+    diff_p.add_argument("--a", required=True, metavar="SRC",
+                        help="side A: a run-journal JSONL file, a "
+                             "result-cache directory, or live "
+                             "'key=val[,key=val]' options (e.g. "
+                             "'engine=reference,dataset=bio-human,"
+                             "alu_latency=2') re-executed now with "
+                             "digests on")
+    diff_p.add_argument("--b", required=True, metavar="SRC",
+                        help="side B: same source forms as --a")
+    diff_p.add_argument("--context", type=int, default=3,
+                        help="ledger rows shown around the first "
+                             "divergence (default 3)")
+    diff_p.add_argument("--interval", type=int, default=None,
+                        help="digest interval in simulated cycles for "
+                             "live re-execution (default 8192, or "
+                             "REPRO_DIGEST_INTERVAL)")
+    diff_p.add_argument("--replay", default=None, metavar="PATH",
+                        help="re-run only the first diverging kernel "
+                             "of both (live) sides with full per-cycle "
+                             "event capture and write a side-by-side "
+                             "Chrome trace for Perfetto")
+    diff_p.add_argument("--json", action="store_true",
+                        help="emit the divergence report as JSON")
     return parser
 
 
@@ -893,7 +923,16 @@ def _cmd_perf(args) -> int:
     if args.limit:
         rows = rows[-args.limit:]
     if args.json:
-        print(json_mod.dumps(rows, sort_keys=True))
+        from repro.obs.profile import git_commit
+
+        # Stamped like the table view: the commit the report was made
+        # at, the gate applied, and per-entry verdicts in the rows.
+        print(json_mod.dumps({
+            "git_commit": git_commit(),
+            "max_regress": max_regress,
+            "history": str(path),
+            "entries": rows,
+        }, sort_keys=True))
     elif not rows:
         print(f"no perf history at {path} — run "
               "benchmarks/bench_perf_trajectory.py (or the CI speed "
@@ -912,6 +951,247 @@ def _cmd_perf(args) -> int:
     return 0
 
 
+def _parse_diff_options(src: str):
+    """``'key=val,key=val'`` live-source grammar -> an options dict."""
+    from repro.errors import ReproError
+
+    opts = {}
+    for part in src.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise ReproError(
+                f"diff source {src!r} is neither an existing journal "
+                "file, a cache directory, nor 'key=value' live options")
+        key, value = part.split("=", 1)
+        opts[key.strip()] = value.strip()
+    return opts
+
+
+def _diff_live_spec(opts):
+    """Build the JobSpec a live diff side re-executes.
+
+    Recognized keys: ``engine`` (only ``reference`` today — the slot
+    the fast-path engine comparison plugs into), ``algorithm``,
+    ``dataset``, ``schedule``, ``scale``, ``iterations``, plus any
+    numeric :class:`GPUConfig` field as an override
+    (``alu_latency=2``) — the deliberate-perturbation lever.
+    """
+    import dataclasses
+
+    from repro.errors import ReproError
+    from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
+
+    opts = dict(opts)
+    engine = opts.pop("engine", "reference")
+    if engine != "reference":
+        raise ReproError(
+            f"engine={engine!r} is not implemented; only "
+            "engine=reference exists today (the fast-path engine will "
+            "plug in here)")
+    algorithm = opts.pop("algorithm", "pagerank")
+    dataset_name = opts.pop("dataset", "bio-human")
+    schedule = opts.pop("schedule", "sparseweaver")
+    scale = float(opts.pop("scale", 0.25))
+    iterations = int(opts.pop("iterations", 2))
+    config = GPUConfig.vortex_bench()
+    overrides = {}
+    config_fields = {f.name for f in dataclasses.fields(GPUConfig)}
+    for key in list(opts):
+        if key in config_fields:
+            raw = opts.pop(key)
+            try:
+                overrides[key] = int(raw)
+            except ValueError:
+                try:
+                    overrides[key] = float(raw)
+                except ValueError:
+                    raise ReproError(
+                        f"config override {key}={raw!r} is not "
+                        "numeric") from None
+    if opts:
+        raise ReproError(
+            f"unknown diff option(s) {sorted(opts)}; expected engine/"
+            "algorithm/dataset/schedule/scale/iterations or a numeric "
+            "GPUConfig field")
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+    return JobSpec(
+        algorithm=AlgorithmSpec.of(
+            algorithm,
+            **({"iterations": iterations} if algorithm == "pagerank"
+               else {"source": 0} if algorithm in ("bfs", "sssp")
+               else {})),
+        graph=GraphSpec.from_dataset(dataset_name, scale=scale),
+        schedule=schedule,
+        config=config,
+        max_iterations=iterations,
+    )
+
+
+def _diff_side(src: str, interval):
+    """One ``--a``/``--b`` source -> ``(label -> summary, spec, kind)``.
+
+    ``spec`` is the live-side JobSpec (``None`` for journal/cache
+    sources — those can only be compared, not replayed).
+    """
+    from pathlib import Path
+
+    from repro.errors import ReproError
+    from repro.obs.provenance import (enable_digests,
+                                      ledgers_from_cache_dir,
+                                      ledgers_from_journal)
+
+    path = Path(src)
+    if path.is_dir():
+        runs = ledgers_from_cache_dir(path)
+        if not runs:
+            raise ReproError(f"cache directory {src} holds no "
+                             "readable entries")
+        return runs, None, "cache"
+    if path.is_file():
+        runs = ledgers_from_journal(path)
+        if not runs:
+            raise ReproError(f"journal {src} holds no completion "
+                             "records")
+        return runs, None, "journal"
+    spec = _diff_live_spec(_parse_diff_options(src))
+    enable_digests(interval)
+    from repro.runtime.engine import _execute_spec
+
+    return {spec.label: _execute_spec(spec)}, spec, "live"
+
+
+def _diff_replay(path, spec_a, spec_b, kernel: int) -> str:
+    """Re-run both live sides recording only ``kernel``; write a
+    side-by-side Chrome trace and return its path."""
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.obs.provenance import KernelWindowTracer
+    from repro.obs.tracing import execution_trace_events
+
+    events = []
+    for spec, label, pid_base in ((spec_a, "A", 1000),
+                                  (spec_b, "B", 5000)):
+        window = KernelWindowTracer(kernel)
+        run_single(
+            spec.algorithm.build(), spec.graph.build(), spec.schedule,
+            config=spec.effective_config(),
+            max_iterations=spec.max_iterations,
+            symmetrize=spec.symmetrize, exec_tracer=window)
+        events.extend(execution_trace_events(
+            window.inner, pid_base=pid_base,
+            label=f"{label}:{spec.label}"))
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json_mod.dumps({"traceEvents": events}))
+    return str(out)
+
+
+def _cmd_diff(args) -> int:
+    import json as json_mod
+
+    from repro.errors import ReproError
+    from repro.obs.provenance import (context_window, describe_coord,
+                                      diff_ledgers)
+
+    runs_a, spec_a, kind_a = _diff_side(args.a, args.interval)
+    runs_b, spec_b, kind_b = _diff_side(args.b, args.interval)
+    common = sorted(set(runs_a) & set(runs_b))
+    if not common:
+        raise ReproError(
+            f"no common job labels between --a ({kind_a}: "
+            f"{len(runs_a)} run(s)) and --b ({kind_b}: {len(runs_b)} "
+            "run(s)) — digest ledgers are matched by job label")
+
+    jobs = []
+    missing = 0
+    for label in common:
+        la = (runs_a[label] or {}).get("digest_ledger")
+        lb = (runs_b[label] or {}).get("digest_ledger")
+        if la is None and lb is None:
+            missing += 1
+            continue
+        diffs = diff_ledgers(la, lb)
+        entry = {"label": label, "divergences": len(diffs)}
+        if diffs:
+            first = diffs[0]
+            coord = [int(v) for v in first["coord"]]
+            entry["first"] = {
+                "coord": coord,
+                "where": describe_coord(coord),
+                "a": first["a"], "b": first["b"],
+                "context": [
+                    {"coord": [int(v) for v in row["coord"]],
+                     "a": row["a"], "b": row["b"],
+                     "match": row["match"]}
+                    for row in context_window(la, lb, coord,
+                                              args.context)
+                ],
+            }
+        jobs.append(entry)
+
+    if not jobs:
+        raise ReproError(
+            f"none of the {len(common)} common job(s) carry a digest "
+            "ledger — re-run both sides with REPRO_DIGEST=1")
+
+    divergent = [j for j in jobs if j["divergences"]]
+    replay_path = None
+    if args.replay and divergent:
+        if spec_a is None or spec_b is None:
+            raise ReproError(
+                "--replay needs both sides to be live 'key=value' "
+                "sources (journal/cache entries cannot be re-executed)")
+        kernel = divergent[0]["first"]["coord"][0]
+        if kernel < 0:
+            kernel = 0  # merge-stream divergence: replay kernel 0
+        replay_path = _diff_replay(args.replay, spec_a, spec_b, kernel)
+
+    if args.json:
+        print(json_mod.dumps({
+            "a": {"source": args.a, "kind": kind_a,
+                  "runs": len(runs_a)},
+            "b": {"source": args.b, "kind": kind_b,
+                  "runs": len(runs_b)},
+            "compared": len(jobs),
+            "without_ledgers": missing,
+            "divergent": len(divergent),
+            "jobs": jobs,
+            "replay": replay_path,
+        }, sort_keys=True))
+        return 1 if divergent else 0
+
+    print(f"provenance diff: {len(jobs)} job(s) compared "
+          f"({kind_a} vs {kind_b})"
+          + (f", {missing} without ledgers skipped" if missing else ""))
+    for job in jobs:
+        if not job["divergences"]:
+            print(f"  {job['label']}: ledgers identical")
+            continue
+        first = job["first"]
+        print(f"  {job['label']}: {job['divergences']} diverging "
+              f"record(s); first at {first['where']} "
+              f"(coord {tuple(first['coord'])})")
+        print(f"    a={first['a'] or '(absent)'}  "
+              f"b={first['b'] or '(absent)'}")
+        for row in first["context"]:
+            mark = " " if row["match"] else ">"
+            print(f"    {mark} {tuple(row['coord'])}  "
+                  f"a={row['a'] or '-':>16}  b={row['b'] or '-':>16}")
+    if replay_path:
+        print(f"  replay trace: {replay_path} — open in "
+              "chrome://tracing or https://ui.perfetto.dev")
+    if divergent:
+        print(f"FIRST DIVERGENCE: {divergent[0]['label']} at "
+              f"{divergent[0]['first']['where']}")
+        return 1
+    print("no divergences: every compared ledger matches")
+    return 0
+
+
 _COMMANDS = {
     "run": _cmd_run,
     "compare": _cmd_compare,
@@ -927,6 +1207,7 @@ _COMMANDS = {
     "tail": _cmd_tail,
     "report": _cmd_report,
     "perf": _cmd_perf,
+    "diff": _cmd_diff,
 }
 
 

@@ -503,6 +503,12 @@ class Coordinator(BatchEngine):
                     # Per-worker simulated throughput for the fleet
                     # dashboard's host-profile view.
                     extra["cycles"] = int(cycles)
+                ledger = message["summary"].get("digest_ledger")
+                if ledger:
+                    # Provenance ledgers ride inside the summary; the
+                    # count makes digest-enabled fleet runs visible in
+                    # telemetry without re-shipping the records.
+                    extra["digests"] = len(ledger)
             self.telemetry.emit("lease_result", lease.spec,
                                 worker=worker, status=status,
                                 wall=round(wall, 6), **extra)

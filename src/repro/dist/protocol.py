@@ -216,6 +216,10 @@ def result(worker: str, spec_hash: str, attempt: int, status: str,
     ``metrics`` and ``profile`` are the worker-side registry and
     host-profiler snapshots (shipped only when those layers are
     enabled on the worker); the coordinator folds them into its own.
+    ``summary`` is the job's :class:`~repro.runtime.cache.RunSummary`
+    dict verbatim — including the optional ``digest_ledger`` field on
+    ``REPRO_DIGEST`` runs, which crosses the wire untouched so fleet
+    provenance diffs clean against serial runs.
     """
     message = {"type": "result", "worker": worker, "hash": spec_hash,
                "attempt": attempt, "status": status,

@@ -167,6 +167,10 @@ class Worker:
             data = _worker_entry(spec, tuple(fault) if fault else None)
             metrics = data.pop("_metrics", None)
             profile = data.pop("_profile", None)
+            # Anything else _worker_entry attached stays in the summary
+            # payload — in particular the optional ``digest_ledger``
+            # (REPRO_DIGEST runs), so fleet ledgers are comparable
+            # one-for-one with serial ones via ``repro diff``.
             message = protocol.result(
                 self.worker_id, spec_hash, attempt, "ok",
                 time.perf_counter() - start, summary=data,

@@ -88,6 +88,14 @@ class ResultSet:
         """The full (round-tripped) kernel stats of ``spec``'s run."""
         return self.summary(spec).stats
 
+    def digest_ledger(self, spec: JobSpec):
+        """The provenance digest ledger of ``spec``'s run, or ``None``.
+
+        Populated only on ``REPRO_DIGEST=1`` runs — see
+        :mod:`repro.obs.provenance` and ``repro diff``.
+        """
+        return self.summary(spec).digest_ledger
+
 
 def expand_jobs(
     figures: Sequence[Figure], ctx: FigureContext,

@@ -21,6 +21,10 @@ stall breakdowns, Fig. 12 memory ratios):
   sampler) and the ``perf_history.jsonl`` trajectory store behind
   ``python -m repro perf``.  Enable via ``REPRO_PROFILE=1`` or
   :func:`enable_profiling`.
+* :mod:`repro.obs.provenance` — rolling digests of simulated
+  architectural state and the divergence ledger behind
+  ``python -m repro diff``.  Enable via ``REPRO_DIGEST=1`` or
+  :func:`enable_digests`.
 """
 
 from repro.obs.metrics import (
@@ -42,6 +46,16 @@ from repro.obs.profile import (
     enable_profiling,
     get_profiler,
     profiling_enabled,
+)
+from repro.obs.provenance import (
+    KernelWindowTracer,
+    StateDigester,
+    diff_ledgers,
+    digests_enabled,
+    disable_digests,
+    enable_digests,
+    first_divergence,
+    get_digester,
 )
 from repro.obs.tracing import (
     NULL_TRACER,
@@ -69,6 +83,14 @@ __all__ = [
     "enable_profiling",
     "get_profiler",
     "profiling_enabled",
+    "KernelWindowTracer",
+    "StateDigester",
+    "diff_ledgers",
+    "digests_enabled",
+    "disable_digests",
+    "enable_digests",
+    "first_divergence",
+    "get_digester",
     "NULL_TRACER",
     "Span",
     "Tracer",

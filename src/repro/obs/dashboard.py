@@ -75,6 +75,9 @@ class BatchWatch:
         self.counts: Dict[str, int] = {}
         self.jobs: Dict[str, str] = {}  # job hash -> last known state
         self.cycles = 0
+        #: Provenance digest-ledger records shipped with finishes
+        #: (REPRO_DIGEST runs; zero otherwise).
+        self.digest_records = 0
         self.first_ts: Optional[float] = None
         self.last_ts: Optional[float] = None
         self.cache_stats: Optional[Dict[str, Any]] = None
@@ -135,6 +138,7 @@ class BatchWatch:
         elif kind in ("finished", "cached", "resumed") and job:
             self.jobs[job] = "done"
             self.cycles += int(record.get("cycles", 0))
+            self.digest_records += int(record.get("digests", 0))
             self.recent.append(record)
         elif kind == "failed" and job:
             self.jobs[job] = "failed"
@@ -201,6 +205,7 @@ class BatchWatch:
             "cache_hit_rate": round((cached + resumed) / lookups, 4)
             if lookups else 0.0,
             "finished": self.finished,
+            "digest_records": self.digest_records,
             "workers_seen": len(self.workers),
             "workers_alive": sum(
                 1 for w in self.workers.values() if w["alive"]),

@@ -273,11 +273,13 @@ class MetricsRegistry:
 
         Counters and histograms accumulate; gauges adopt the incoming
         value (last write wins, matching their point-in-time meaning).
-        A disabled registry ignores the snapshot entirely.
+        A disabled registry ignores the snapshot entirely, and a
+        ``None`` or empty snapshot — a worker that died before
+        recording anything — merges as a no-op rather than raising.
         """
-        if not self.enabled:
+        if not self.enabled or not isinstance(snap, dict):
             return
-        for name, entry in snap.get("metrics", {}).items():
+        for name, entry in (snap.get("metrics") or {}).items():
             kind = entry.get("kind")
             if kind == "counter":
                 inst = self.counter(name, entry.get("help", ""))

@@ -259,10 +259,12 @@ class PhaseProfiler:
 
         A disabled profiler ignores the snapshot, mirroring
         :meth:`~repro.obs.metrics.MetricsRegistry.merge_snapshot`.
+        A worker that died before its first phase ships ``None`` or an
+        empty snapshot; merging those must be a no-op, never an error.
         """
-        if not self.enabled:
+        if not self.enabled or not isinstance(snap, dict):
             return
-        data = snap.get("profile", {})
+        data = snap.get("profile") or {}
         self.kernels += int(data.get("kernels", 0))
         self.sim_wall_seconds += float(data.get("sim_wall_seconds", 0.0))
         self.sim_cycles += int(data.get("sim_cycles", 0))

@@ -140,6 +140,10 @@ def format_report(report: Dict[str, Any]) -> str:
          f"{report['elapsed_seconds']:.3f}s wall"),
         f"  cache   : {report['cache_hit_rate'] * 100:.1f}% hit rate",
     ]
+    if report.get("digest_records"):
+        lines.append(
+            f"  digests : {report['digest_records']:,} provenance "
+            f"ledger record(s) shipped (REPRO_DIGEST)")
     if report.get("cache"):
         cs = report["cache"]
         store = (

@@ -183,7 +183,8 @@ NULL_TRACER = Tracer(enabled=False)
 # Simulated-cycle events from an ExecutionTracer
 # ----------------------------------------------------------------------
 def execution_trace_events(exec_tracer, pid_base: int = 1000,
-                           ts_offset: int = 0) -> List[Dict[str, Any]]:
+                           ts_offset: int = 0,
+                           label: str = "sim") -> List[Dict[str, Any]]:
     """Convert an :class:`~repro.sim.trace.ExecutionTracer` to events.
 
     One Perfetto process per simulated core (``pid_base + core``); one
@@ -191,6 +192,11 @@ def execution_trace_events(exec_tracer, pid_base: int = 1000,
     category = execution phase), plus one row per stall class carrying
     the attributed stall spans recorded by the simulator.  Timestamps
     are simulated cycles (rendered as microseconds by the viewer).
+
+    ``label`` names the process rows (``"<label> core N"``) so two
+    tracers rendered into one file — ``repro diff --replay`` puts run A
+    and run B side by side under distinct ``pid_base`` ranges — stay
+    tellable apart in the viewer.
     """
     events: List[Dict[str, Any]] = []
     cores = sorted({e.core for e in exec_tracer.events}
@@ -198,7 +204,7 @@ def execution_trace_events(exec_tracer, pid_base: int = 1000,
     for core in cores:
         events.append({
             "ph": "M", "name": "process_name", "pid": pid_base + core,
-            "tid": 0, "args": {"name": f"sim core {core}"},
+            "tid": 0, "args": {"name": f"{label} core {core}"},
         })
     named: set = set()
     for e in exec_tracer.events:

@@ -80,6 +80,13 @@ class RunSummary:
     stats: KernelStats
     values_digest: str
     from_cache: bool = False
+    #: Provenance digest ledger (``REPRO_DIGEST=1`` runs only):
+    #: ordered ``[kernel, interval, core, warp, digest, events]``
+    #: records — see :mod:`repro.obs.provenance`.  ``None`` (the
+    #: default) keeps :meth:`to_dict` byte-identical to summaries
+    #: produced before the field existed, so journal/cache schemas and
+    #: checksums need no version bump.
+    digest_ledger: Optional[Any] = None
 
     @classmethod
     def from_run_result(cls, result) -> "RunSummary":
@@ -93,12 +100,15 @@ class RunSummary:
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-able form."""
-        return {
+        out = {
             "total_cycles": self.total_cycles,
             "iterations": self.iterations,
             "stats": self.stats.to_summary_dict(),
             "values_digest": self.values_digest,
         }
+        if self.digest_ledger is not None:
+            out["digest_ledger"] = self.digest_ledger
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any],
@@ -110,6 +120,7 @@ class RunSummary:
             stats=KernelStats.from_summary_dict(data["stats"]),
             values_digest=data["values_digest"],
             from_cache=from_cache,
+            digest_ledger=data.get("digest_ledger"),
         )
 
 

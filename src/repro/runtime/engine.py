@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.errors import ConfigError, ReproError, TransientError
 from repro.obs.metrics import get_registry
 from repro.obs.profile import get_profiler
+from repro.obs.provenance import get_digester
 from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.runtime.cache import ResultCache, RunSummary
 from repro.runtime.faults import (apply_serial_fault, apply_worker_fault,
@@ -71,9 +72,23 @@ def _execute_spec(spec: JobSpec) -> Dict[str, Any]:
     Module-level (not a method) so ``ProcessPoolExecutor`` can pickle
     it by reference; returns plain dicts so nothing exotic crosses the
     process boundary.
+
+    The single execution path shared by serial runs, pool workers and
+    fleet leases, so the provenance ledger (``REPRO_DIGEST=1``) is
+    captured identically everywhere: it rides inside the summary dict
+    as the optional ``digest_ledger`` field, through pickling, the run
+    journal, the result cache and the fleet protocol alike.
     """
+    digester = get_digester()
+    if digester.enabled:
+        digester.begin_job()
     result = spec.execute()
-    return RunSummary.from_run_result(result).to_dict()
+    out = RunSummary.from_run_result(result).to_dict()
+    if digester.enabled:
+        ledger = digester.take_ledger()
+        if ledger:
+            out["digest_ledger"] = ledger
+    return out
 
 
 def _worker_entry(spec: JobSpec, fault=None) -> Dict[str, Any]:
@@ -262,9 +277,13 @@ class BatchEngine:
             self.journal.record(spec, summary)
         outcomes[idx] = JobOutcome(spec, "ok", summary, None, attempts,
                                    wall)
+        extra = {}
+        if summary.digest_ledger:
+            extra["digests"] = len(summary.digest_ledger)
         self.telemetry.emit("finished", spec,
                             cycles=summary.total_cycles,
-                            wall=round(wall, 6), attempt=attempts)
+                            wall=round(wall, 6), attempt=attempts,
+                            **extra)
         self._job_done("ok", wall)
 
     def _record_failure(self, idx: int, spec: JobSpec, error: str,

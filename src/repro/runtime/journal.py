@@ -86,6 +86,7 @@ class RunJournal:
         self._appended = 0
         self.bad_lines = 0
         self.stale_lines = 0
+        self.unknown_lines = 0
         self.lease_lines = 0
         self.reclaim_lines = 0
 
@@ -103,15 +104,21 @@ class RunJournal:
         Torn/garbled lines are counted in :attr:`bad_lines` and
         skipped; lines written by a different simulator version are
         counted in :attr:`stale_lines` and skipped (their results
-        would no longer be valid to resume from).  Lease and reclaim
-        lines fold into the lease ledger (:meth:`active_leases`) in
-        file order; a completion for a hash always clears — and
-        permanently shadows — any lease on it.
+        would no longer be valid to resume from).  Record kinds this
+        reader does not know — written by a newer build sharing the
+        journal — are counted in :attr:`unknown_lines` and skipped
+        cleanly rather than treated as corruption, so forward-
+        compatible record types (provenance digests, say) can ride in
+        any journal without stranding older readers.  Lease and
+        reclaim lines fold into the lease ledger
+        (:meth:`active_leases`) in file order; a completion for a hash
+        always clears — and permanently shadows — any lease on it.
         """
         self._completed.clear()
         self._leases.clear()
         self.bad_lines = 0
         self.stale_lines = 0
+        self.unknown_lines = 0
         self.lease_lines = 0
         self.reclaim_lines = 0
         if not self.path.exists():
@@ -141,7 +148,7 @@ class RunJournal:
                     self._leases.pop(record["hash"], None)
                     self.reclaim_lines += 1
                 else:
-                    raise ValueError(f"unknown record type {kind!r}")
+                    self.unknown_lines += 1
             except (ValueError, KeyError, TypeError):
                 self.bad_lines += 1
         return len(self._completed)
@@ -289,6 +296,7 @@ class RunJournal:
             "appended": self._appended,
             "bad_lines": self.bad_lines,
             "stale_lines": self.stale_lines,
+            "unknown_lines": self.unknown_lines,
             "active_leases": len(self.active_leases()),
             "lease_lines": self.lease_lines,
             "reclaim_lines": self.reclaim_lines,

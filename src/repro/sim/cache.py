@@ -31,13 +31,15 @@ class Cache:
         # top-level execute phase, see repro.obs.profile).
         self._phase = "mem/" + name.split("[", 1)[0].lower()
 
-    def lookup(self, line: int, prof=None) -> bool:
+    def lookup(self, line: int, prof=None, dig=None) -> bool:
         """Access ``line``; returns True on hit. Misses allocate.
 
         ``prof`` is an enabled :class:`~repro.obs.profile.PhaseProfiler`
-        (or ``None``): lookups are the memory model's hot path, so the
-        caller pre-resolves the enabled check instead of this method
-        consulting the global each call.
+        and ``dig`` an enabled
+        :class:`~repro.obs.provenance.StateDigester` (or ``None``):
+        lookups are the memory model's hot path, so the caller
+        pre-resolves the enabled checks instead of this method
+        consulting the globals each call.
         """
         start = perf_counter() if prof is not None else 0.0
         if self._set_mask >= 0 and (self._set_mask & (self._set_mask + 1)) == 0:
@@ -59,6 +61,8 @@ class Cache:
             hit = False
         if prof is not None:
             prof.add(self._phase, perf_counter() - start)
+        if dig is not None:
+            dig.note_cache(self._phase, hit)
         return hit
 
     def contains(self, line: int) -> bool:

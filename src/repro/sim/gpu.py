@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.obs.metrics import get_registry
 from repro.obs.profile import get_profiler
+from repro.obs.provenance import get_digester
 from repro.sim.config import GPUConfig
 from repro.sim.instructions import Instr, Op, Phase, as_index_array
 from repro.sim.memory import MemoryHierarchy
@@ -144,6 +145,18 @@ class GPU:
         profiler = get_profiler()
         prof_on = profiler.enabled
         kernel_start = perf_counter() if prof_on else 0.0
+        # Provenance digester: same guard discipline. Folds only
+        # simulated values (never host time), so even enabled it can't
+        # perturb cycles — it just records what they were.
+        digester = get_digester()
+        dig_on = digester.enabled
+        if dig_on:
+            digester.begin_kernel()
+        # Duck-typed kernel-launch notification for window tracers
+        # (``repro diff --replay`` records only one kernel).
+        tracer_begin = getattr(tracer, "begin_kernel", None)
+        if tracer_begin is not None:
+            tracer_begin()
 
         cores = []
         units: Dict[int, Any] = {}
@@ -186,6 +199,10 @@ class GPU:
                             if record_stall is not None:
                                 record_stall(w.ready, core_id, w.slot,
                                              StallCat.SYNC, wait)
+                            if dig_on:
+                                digester.note_stall(w.ready, core_id,
+                                                    w.slot, StallCat.SYNC,
+                                                    wait)
                         w.state = _RUNNING
                         w.ready = release
                     heapq.heappush(heap, (release, core_id))
@@ -204,6 +221,8 @@ class GPU:
                 stats.phase_cycles[warp.blocked_phase] += gap
                 if record_stall is not None:
                     record_stall(t, core_id, warp.slot, cat, gap)
+                if dig_on:
+                    digester.note_stall(t, core_id, warp.slot, cat, gap)
                 t = warp.ready
             if prof_on:
                 kernel_gen_start = perf_counter()
@@ -236,6 +255,9 @@ class GPU:
             if tracer is not None and instr.op != Op.COUNTER:
                 tracer.record(t, core_id, warp.slot, instr.op,
                               instr.phase, done)
+            if dig_on and instr.op != Op.COUNTER:
+                digester.note_issue(t, core_id, warp.slot, instr.op,
+                                    instr.phase, done)
             if instr.op != Op.COUNTER:
                 issued += 1
                 stats.instructions += 1
@@ -279,6 +301,8 @@ class GPU:
             end = perf_counter()
             profiler.add("finalize", end - finalize_start)
             profiler.end_kernel(stats.total_cycles, end - kernel_start)
+        if dig_on:
+            digester.end_kernel(stats)
         return stats
 
     # ------------------------------------------------------------------

@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.errors import ConfigError, SimulationError
 from repro.obs.profile import get_profiler
+from repro.obs.provenance import get_digester
 from repro.sim.cache import Cache, publish_cache_metrics
 from repro.sim.config import GPUConfig
 from repro.sim.stats import CacheStats
@@ -121,7 +122,7 @@ class MemoryHierarchy:
         return np.unique(addrs >> self._line_shift)
 
     def access_line(self, core_id: int, line: int, now: int = 0,
-                    prof=None) -> int:
+                    prof=None, dig=None) -> int:
         """Walk the hierarchy for one line; returns its latency.
 
         DRAM fills additionally queue behind a shared memory-controller
@@ -131,15 +132,16 @@ class MemoryHierarchy:
         that makes graph processing memory-intensive (Fig. 12) and
         charges S_em for its doubled edge reads.
 
-        ``prof`` is an enabled host profiler (or ``None``), threaded
-        down into the per-level lookups.
+        ``prof`` is an enabled host profiler (or ``None``) and ``dig``
+        an enabled state digester (or ``None``), threaded down into the
+        per-level lookups.
         """
         cfg = self.config
-        if self.l1[core_id].lookup(line, prof):
+        if self.l1[core_id].lookup(line, prof, dig):
             return cfg.l1.hit_latency
-        if self.l2 is not None and self.l2.lookup(line, prof):
+        if self.l2 is not None and self.l2.lookup(line, prof, dig):
             return cfg.l2.hit_latency
-        if self.l3 is not None and self.l3.lookup(line, prof):
+        if self.l3 is not None and self.l3.lookup(line, prof, dig):
             return cfg.l3.hit_latency
         self.dram_accesses += 1
         if prof is not None:
@@ -165,6 +167,8 @@ class MemoryHierarchy:
             raise SimulationError(f"core id {core_id} out of range")
         profiler = get_profiler()
         prof = profiler if profiler.enabled else None
+        digester = get_digester()
+        dig = digester if digester.enabled else None
         start = perf_counter() if prof is not None else 0.0
         lines = self.lines_for(region, indices)
         if lines.size == 0:
@@ -173,12 +177,14 @@ class MemoryHierarchy:
             return 0, 0
         worst = 0
         for line in lines.tolist():
-            latency = self.access_line(core_id, line, now, prof)
+            latency = self.access_line(core_id, line, now, prof, dig)
             if latency > worst:
                 worst = latency
         total = worst + (lines.size - 1) * self.config.line_throughput
         if prof is not None:
             prof.add("mem/access", perf_counter() - start)
+        if dig is not None:
+            dig.note_mem(now, core_id, int(lines.size), total)
         return total, int(lines.size)
 
     # ------------------------------------------------------------------

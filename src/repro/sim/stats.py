@@ -16,6 +16,7 @@ from enum import IntEnum
 from typing import Dict, Tuple
 
 from repro.obs.profile import phase as _host_phase
+from repro.obs.provenance import get_digester
 from repro.sim.instructions import Op, Phase, PHASE_LABELS
 
 
@@ -128,6 +129,12 @@ class KernelStats:
         per-iteration stats thousands of times, and the stall-cell
         dict can dominate that cost.
         """
+        digester = get_digester()
+        if digester.enabled:
+            # Merge order and content are part of a run's provenance:
+            # an aggregation bug diverges here even when every kernel's
+            # own records agree.
+            digester.note_merge(other.total_cycles, other.instructions)
         with _host_phase("stats/merge"):
             self._merge(other)
 

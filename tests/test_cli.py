@@ -182,5 +182,166 @@ def test_perf_table_check_and_json(capsys, tmp_path):
     code, out = run_cli(capsys, "perf", "--history",
                         str(history.path), "--json", "--limit", "1")
     assert code == 0
-    rows = json.loads(out)
-    assert len(rows) == 1 and rows[0]["verdict"] == "REGRESSION"
+    doc = json.loads(out)
+    assert len(doc["entries"]) == 1
+    assert doc["entries"][0]["verdict"] == "REGRESSION"
+
+
+def test_perf_json_stamps_commit_and_verdicts(capsys, tmp_path):
+    """--json carries the same stamps as the table: the reporting
+    commit, the gate applied, and a per-entry verdict."""
+    import json
+
+    from repro.obs.profile import PerfHistory
+
+    history = PerfHistory(tmp_path / "hist.jsonl")
+    base = {"schema": 2, "git_commit": "d" * 40, "time": 1.0,
+            "simulator_version": 1}
+    for rate in (50.0, 49.0, 10.0):
+        history.append({**base,
+                        "metrics": {"jobs_per_second": rate,
+                                    "simulated_cycles_per_second": 1.0,
+                                    "peak_rss_bytes": 2 ** 20}})
+    code, out = run_cli(capsys, "perf", "--history",
+                        str(history.path), "--json")
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["history"] == str(history.path)
+    assert doc["max_regress"] == 0.25
+    # The stamping commit is live (rev-parse or "unknown"), never empty.
+    assert isinstance(doc["git_commit"], str) and doc["git_commit"]
+    verdicts = [e["verdict"] for e in doc["entries"]]
+    assert verdicts == ["-", "ok", "REGRESSION"]
+    assert all(e["git_commit"] == "d" * 12 for e in doc["entries"])
+
+    # The gate flag flows into the stamp.
+    code, out = run_cli(capsys, "perf", "--history", str(history.path),
+                        "--json", "--max-regress", "0.9")
+    assert code == 0
+    doc = json.loads(out)
+    assert doc["max_regress"] == 0.9
+    assert [e["verdict"] for e in doc["entries"]] == ["-", "ok", "ok"]
+
+
+# ----------------------------------------------------------------------
+# repro diff — provenance divergence localization
+# ----------------------------------------------------------------------
+def _diff_journal(path, label, ledger):
+    """One completion record carrying a digest ledger, as the engine
+    journals it (loader is schema-tolerant, so only the shape matters)."""
+    import json
+
+    with open(path, "a") as handle:
+        handle.write(json.dumps({
+            "hash": "ab" * 32, "label": label,
+            "summary": {"total_cycles": 10, "iterations": 1,
+                        "stats": {}, "values_digest": "d",
+                        "digest_ledger": ledger},
+        }) + "\n")
+
+
+def test_diff_journals_clean_and_divergent(capsys, tmp_path):
+    base = [[0, 0, 0, 0, "aaaa", 3], [0, -1, -1, -1, "bbbb", 5]]
+    other = [[0, 0, 0, 0, "XXXX", 3], [0, -1, -1, -1, "YYYY", 5]]
+    a, b, c = (tmp_path / n for n in ("a.jsonl", "b.jsonl", "c.jsonl"))
+    _diff_journal(a, "job-1", base)
+    _diff_journal(b, "job-1", base)
+    _diff_journal(c, "job-1", other)
+
+    code, out = run_cli(capsys, "diff", "--a", str(a), "--b", str(b))
+    assert code == 0
+    assert "ledgers identical" in out and "no divergences" in out
+
+    code, out = run_cli(capsys, "diff", "--a", str(a), "--b", str(c))
+    assert code == 1
+    assert "FIRST DIVERGENCE: job-1 at kernel 0 interval 0 core 0 warp 0" in out
+    assert "2 diverging record(s)" in out
+
+
+def test_diff_json_output(capsys, tmp_path):
+    import json
+
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _diff_journal(a, "job-1", [[0, 0, 0, 0, "aaaa", 3]])
+    _diff_journal(b, "job-1", [[0, 0, 0, 0, "XXXX", 3]])
+    code, out = run_cli(capsys, "diff", "--a", str(a), "--b", str(b),
+                        "--json")
+    assert code == 1
+    doc = json.loads(out)
+    assert doc["divergent"] == 1 and doc["compared"] == 1
+    job = doc["jobs"][0]
+    assert job["label"] == "job-1"
+    assert job["first"]["coord"] == [0, 0, 0, 0]
+    assert job["first"]["where"] == "kernel 0 interval 0 core 0 warp 0"
+    assert job["first"]["a"] == "aaaa" and job["first"]["b"] == "XXXX"
+
+
+def test_diff_error_exits(capsys, tmp_path):
+    import json
+
+    # Neither a file, a directory, nor key=value options.
+    code, _out = run_cli(capsys, "diff", "--a", "nope-such-source",
+                         "--b", "nope-such-source")
+    assert code == 2
+
+    # The fast-path engine slot exists but is not implemented yet.
+    code, _out = run_cli(capsys, "diff", "--a", "engine=fast",
+                         "--b", "engine=reference")
+    assert code == 2
+
+    # Unknown live option names are rejected, not silently dropped.
+    code, _out = run_cli(capsys, "diff", "--a", "alu_latncy=3",
+                         "--b", "engine=reference")
+    assert code == 2
+
+    # No common labels between the two sides.
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _diff_journal(a, "job-1", [[0, 0, 0, 0, "aaaa", 1]])
+    _diff_journal(b, "job-2", [[0, 0, 0, 0, "aaaa", 1]])
+    assert run_cli(capsys, "diff", "--a", str(a), "--b", str(b))[0] == 2
+
+    # Common labels but no ledgers on either side (REPRO_DIGEST off).
+    c, d = tmp_path / "c.jsonl", tmp_path / "d.jsonl"
+    for path in (c, d):
+        with open(path, "a") as handle:
+            handle.write(json.dumps({
+                "hash": "cd" * 32, "label": "job-1",
+                "summary": {"total_cycles": 10, "iterations": 1,
+                            "stats": {}, "values_digest": "d"},
+            }) + "\n")
+    assert run_cli(capsys, "diff", "--a", str(c), "--b", str(d))[0] == 2
+
+
+def test_diff_live_perturbation_localizes_and_replays(capsys, tmp_path):
+    """The acceptance walkthrough end-to-end: an identical live pair
+    diffs clean; a perturbed opcode latency produces a first-divergence
+    coordinate and --replay writes the side-by-side Chrome trace."""
+    import json
+
+    from repro.obs.provenance import digests_enabled, disable_digests
+
+    live = ("algorithm=pagerank,dataset=bio-human,schedule=sparseweaver,"
+            "scale=0.2,iterations=1")
+    assert not digests_enabled()
+    try:
+        code, out = run_cli(capsys, "diff", "--a", live, "--b", live,
+                            "--interval", "512")
+        assert code == 0
+        assert "no divergences" in out
+
+        trace = tmp_path / "replay.json"
+        code, out = run_cli(capsys, "diff", "--a", live,
+                            "--b", live + ",alu_latency=3",
+                            "--interval", "512",
+                            "--replay", str(trace))
+    finally:
+        disable_digests(clear=True)
+    assert code == 1
+    assert "FIRST DIVERGENCE" in out
+    assert "kernel 0 interval 0" in out
+    doc = json.loads(trace.read_text())
+    names = {e["args"]["name"] for e in doc["traceEvents"]
+             if e.get("name") == "process_name"}
+    # Both sides' kernels land in one trace, labeled A: and B:.
+    assert any(n.startswith("A:") for n in names)
+    assert any(n.startswith("B:") for n in names)

@@ -235,3 +235,15 @@ def test_histogram_percentile_method(registry):
     h.observe(0.01, pool="a")
     assert h.percentile(50, pool="a") == 0.1
     assert h.percentile(50, pool="missing") == 0.0
+
+
+def test_merge_snapshot_tolerates_dead_worker_payloads(registry):
+    """Regression: a worker that died before recording anything ships
+    None, a non-dict, or a snapshot with 'metrics' None/empty —
+    merging any of those must be a silent no-op, never a raise."""
+    registry.counter("jobs_total", "jobs").inc()
+    for snap in (None, "garbage", 3.5, {}, {"metrics": None},
+                 {"metrics": {}}):
+        registry.merge_snapshot(snap)
+    snap = registry.snapshot()
+    assert snap["metrics"]["jobs_total"]["series"][0]["value"] == 1

@@ -326,3 +326,16 @@ def test_git_commit_resolves_in_this_repo(tmp_path):
 
 def test_op_buckets_are_sorted():
     assert list(OP_BUCKETS) == sorted(OP_BUCKETS)
+
+
+def test_merge_snapshot_tolerates_dead_worker_payloads():
+    """Regression: a worker that died before its first phase ships
+    None, a non-dict, or a snapshot whose 'profile' is None/empty —
+    merging any of those must be a silent no-op, never a raise."""
+    dst = PhaseProfiler(enabled=True)
+    dst.add("schedule", 1.0, calls=2)
+    for snap in (None, "garbage", 7, {}, {"profile": None},
+                 {"profile": {}}):
+        dst.merge_snapshot(snap)
+    assert dst.phases["schedule"] == [1.0, 2]
+    assert dst.kernels == 0

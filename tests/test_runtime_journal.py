@@ -344,3 +344,55 @@ def test_lease_ledger_survives_torn_line_mid_lease(ops):
         active = loaded.active_leases()
         assert {h: r["worker"] for h, r in active.items()} == expected
         assert loaded.hashes() == completed
+
+
+# ------------------------------------------- forward-compatible kinds
+def test_unknown_record_kinds_are_counted_not_corruption(tmp_path):
+    """A journal shared with a newer build may interleave record kinds
+    this reader has never heard of; they must be skipped and counted —
+    distinctly from torn lines — with every known record still loading."""
+    path = tmp_path / "run.jsonl"
+    spec_a, spec_b = tiny_specs(2)
+    summaries = [o.summary for o in BatchEngine(jobs=1).run(
+        [spec_a, spec_b])]
+
+    journal = RunJournal(path)
+    journal.record(spec_a, summaries[0])
+    # A future build's record kind, interleaved mid-file.
+    append_jsonl(path, {"schema": JOURNAL_SCHEMA,
+                        "sim": SIMULATOR_VERSION,
+                        "type": "digest-checkpoint",
+                        "hash": "ab" * 32, "payload": [1, 2, 3]})
+    journal.record_lease(spec_b, "w0", 30.0)
+    append_jsonl(path, {"schema": JOURNAL_SCHEMA,
+                        "sim": SIMULATOR_VERSION,
+                        "type": "telemetry-index", "offset": 9})
+    journal.record(spec_b, summaries[1])
+    # And a torn tail from a writer killed mid-append.
+    with path.open("a") as handle:
+        handle.write('{"schema": 1, "type": "digest-che')
+
+    loaded = RunJournal(path)
+    assert loaded.load() == 2
+    assert loaded.unknown_lines == 2
+    assert loaded.bad_lines == 1
+    assert loaded.stale_lines == 0
+    assert loaded.hashes() == {spec_a.content_hash(),
+                               spec_b.content_hash()}
+    assert loaded.active_leases() == {}  # completion shadows the lease
+    stats = loaded.stats()
+    assert stats["unknown_lines"] == 2
+    assert stats["bad_lines"] == 1
+
+
+def test_unknown_kind_without_hash_is_not_bad(tmp_path):
+    """Unknown kinds are skipped *before* any field access — a future
+    record needs no 'hash'/'summary' fields to pass through safely."""
+    path = tmp_path / "run.jsonl"
+    append_jsonl(path, {"schema": JOURNAL_SCHEMA,
+                        "sim": SIMULATOR_VERSION,
+                        "type": "annotation", "note": "hello"})
+    journal = RunJournal(path)
+    assert journal.load() == 0
+    assert journal.unknown_lines == 1
+    assert journal.bad_lines == 0
