@@ -43,7 +43,20 @@ PINNED_JOBS = 1  # serial: one process, comparable across CI hosts
 
 #: Artifact schema; bump (monotonically) when the payload changes
 #: shape.  2: added git_commit provenance + optional host_profile.
-BENCH_SCHEMA = 2
+#: 3: per-engine metrics under ``engines`` (reference + fast); the
+#: cold pass became best-of-3 to damp host timing noise (applied to
+#: every engine equally, so ratios stay honest).
+BENCH_SCHEMA = 3
+
+#: Cold-pass repetitions; the fastest run is reported.  One-shot cold
+#: timings on shared CI hosts vary by 10-30%, which is wider than the
+#: regressions the gate exists to catch.
+COLD_RUNS = 3
+
+#: Engines measured per emission.  ``reference`` feeds the speed gate
+#: (its jobs/s is the committed ``metrics`` block); ``fast`` rides
+#: along under ``engines`` so the trajectory records the ratio.
+MEASURED_ENGINES = ("reference", "fast")
 
 #: Default regression tolerance for --check (fraction of baseline).
 DEFAULT_MAX_REGRESS = 0.25
@@ -59,8 +72,16 @@ def _peak_rss_bytes() -> int:
     return peak * (1 if sys.platform == "darwin" else 1024)
 
 
-def measure() -> dict:
-    """Run the pinned subset cold and warm; return the metric dict."""
+def measure(engine: str = "reference") -> dict:
+    """Run the pinned subset cold and warm; return the metric dict.
+
+    ``engine`` names the simulator execution engine (see
+    :mod:`repro.sim.engines`).  The field is excluded from each spec's
+    content hash, so stamping it never changes cache identities — the
+    warm pass below is a genuine hit-only replay either way.
+    """
+    import dataclasses
+
     from repro.figures import FigureContext, get_figure
     from repro.figures.driver import expand_jobs
     from repro.runtime import BatchEngine, ResultCache
@@ -68,15 +89,23 @@ def measure() -> dict:
     ctx = FigureContext.smoke_context(scale=PINNED_SCALE)
     figure = get_figure(PINNED_FIGURE)
     batch, _per_figure = expand_jobs([figure], ctx)
+    batch = [dataclasses.replace(s, engine=engine) for s in batch]
 
-    # Cold: every job simulates (no cache, no journal).
-    cold_engine = BatchEngine(jobs=PINNED_JOBS)
-    cold_start = time.perf_counter()
-    cold = cold_engine.run(batch)
-    cold_wall = time.perf_counter() - cold_start
-    assert all(o.status == "ok" for o in cold), [
-        (o.spec.label, o.error) for o in cold if o.status != "ok"]
-    cycles = sum(o.summary.total_cycles for o in cold)
+    # Cold: every job simulates (no cache, no journal).  Best of
+    # COLD_RUNS — min-of-N is the standard noise filter for
+    # wall-clock microbenchmarks; the minimum tracks the code, the
+    # spread tracks the host.
+    cold_wall = float("inf")
+    cycles = 0
+    for _ in range(COLD_RUNS):
+        cold_engine = BatchEngine(jobs=PINNED_JOBS)
+        cold_start = time.perf_counter()
+        cold = cold_engine.run(batch)
+        wall = time.perf_counter() - cold_start
+        assert all(o.status == "ok" for o in cold), [
+            (o.spec.label, o.error) for o in cold if o.status != "ok"]
+        cycles = sum(o.summary.total_cycles for o in cold)
+        cold_wall = min(cold_wall, wall)
 
     # Warm: populate a scratch cache, then time hit-only lookups.
     with tempfile.TemporaryDirectory(prefix="repro-perf-") as tmp:
@@ -90,6 +119,7 @@ def measure() -> dict:
         o.status for o in warm]
 
     return {
+        "engine": engine,
         "jobs": len(batch),
         "cold_wall_seconds": round(cold_wall, 6),
         "jobs_per_second": round(len(batch) / cold_wall, 3),
@@ -105,6 +135,7 @@ def build_artifact() -> dict:
     from repro.obs.profile import get_profiler, git_commit
     from repro.sim import SIMULATOR_VERSION
 
+    engines = {name: measure(name) for name in MEASURED_ENGINES}
     artifact = {
         "schema": BENCH_SCHEMA,
         "benchmark": "perf_trajectory",
@@ -112,13 +143,19 @@ def build_artifact() -> dict:
             "figure": PINNED_FIGURE,
             "scale": PINNED_SCALE,
             "engine_jobs": PINNED_JOBS,
+            "engines": list(MEASURED_ENGINES),
+            "cold_runs": COLD_RUNS,
         },
         "simulator_version": SIMULATOR_VERSION,
         "git_commit": git_commit(REPO_ROOT),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "time": round(time.time(), 3),
-        "metrics": measure(),
+        # The gate's denominator: ``metrics`` is always the reference
+        # engine, so the committed jobs/s baseline keeps guarding the
+        # interpreter even as faster engines land.
+        "metrics": engines["reference"],
+        "engines": engines,
     }
     profiler = get_profiler()
     if profiler.enabled and profiler.kernels:
@@ -171,6 +208,11 @@ def main(argv=None) -> int:
 
     artifact = build_artifact()
     print(json.dumps(artifact, indent=1, sort_keys=True))
+    eng = artifact["engines"]
+    ref_cps = eng["reference"]["simulated_cycles_per_second"]
+    fast_cps = eng["fast"]["simulated_cycles_per_second"]
+    print(f"engine ratio: fast {fast_cps:,.0f} c/s vs reference "
+          f"{ref_cps:,.0f} c/s = {fast_cps / ref_cps:.2f}x")
     if args.out:
         out = Path(args.out)
         out.write_text(json.dumps(artifact, indent=1, sort_keys=True)

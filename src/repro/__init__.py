@@ -47,7 +47,14 @@ from repro.graph import (
     from_edge_list,
     powerlaw_graph,
 )
-from repro.sim import GPU, GPUConfig, KernelStats
+from repro.sim import (
+    GPU,
+    GPUConfig,
+    KernelStats,
+    SimulatorEngine,
+    available_engines,
+    get_engine,
+)
 from repro.core import WeaverAreaModel, WeaverFSM, WeaverUnit
 from repro.sched import (ALL_SCHEDULES, EXTENDED_SCHEDULES,
                          SOFTWARE_SCHEDULES, make_schedule)
@@ -97,6 +104,9 @@ __all__ = [
     "GPU",
     "GPUConfig",
     "KernelStats",
+    "SimulatorEngine",
+    "get_engine",
+    "available_engines",
     "WeaverFSM",
     "WeaverUnit",
     "WeaverAreaModel",

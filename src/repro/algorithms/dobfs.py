@@ -23,7 +23,7 @@ from repro.graph.csr import CSRGraph
 from repro.sched.base import KernelEnv, Schedule
 from repro.sched.registry import make_schedule
 from repro.sim.config import GPUConfig
-from repro.sim.gpu import GPU
+from repro.sim.engines import build_gpu
 from repro.sim.memory import MemoryMap
 from repro.sim.stats import KernelStats
 
@@ -70,7 +70,7 @@ def run_direction_optimizing_bfs(
     # One shared state dict: both variants read/write level/found/_depth.
     state = top_down.make_state(graph)
 
-    gpu = GPU(cfg)
+    gpu = build_gpu(cfg)
     env_td = KernelEnv(graph=graph, algorithm=top_down, state=state,
                        config=cfg, memory_map=MemoryMap())
     env_bu = KernelEnv(graph=graph.reverse(), algorithm=bottom_up,

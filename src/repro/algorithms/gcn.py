@@ -30,7 +30,7 @@ from repro.core.unit import WeaverUnit
 from repro.errors import AlgorithmError
 from repro.graph.csr import CSRGraph
 from repro.sim.config import GPUConfig
-from repro.sim.gpu import GPU
+from repro.sim.engines import build_gpu
 from repro.sim.instructions import (
     Phase,
     alu,
@@ -167,7 +167,7 @@ def run_gcn_operator(
         raise AlgorithmError("weight rows must match feature columns")
     dims = int(weight.shape[1])
 
-    gpu = GPU(cfg)
+    gpu = build_gpu(cfg)
     mm = MemoryMap()
     regions = {
         "row_ptr": mm.alloc_like("row_ptr", graph.row_ptr),

@@ -26,7 +26,7 @@ from repro.graph.csr import CSRGraph
 from repro.sched.base import KernelEnv, Schedule
 from repro.sched.registry import make_schedule
 from repro.sim.config import GPUConfig
-from repro.sim.gpu import GPU
+from repro.sim.engines import build_gpu
 from repro.sim.memory import MemoryMap
 from repro.sim.stats import KernelStats
 
@@ -137,7 +137,7 @@ def run_kcore(
     alg = _peel_algorithm()
     traversal = graph.reverse()
     state = alg.make_state(graph)
-    gpu = GPU(cfg)
+    gpu = build_gpu(cfg)
     env = KernelEnv(graph=traversal, algorithm=alg, state=state,
                     config=cfg, memory_map=MemoryMap())
     env.memory = gpu.memory

@@ -23,7 +23,7 @@ from repro.apps.hash_table import GPUHashTable
 from repro.core.unit import WeaverUnit
 from repro.errors import ReproError
 from repro.sim.config import GPUConfig
-from repro.sim.gpu import GPU
+from repro.sim.engines import build_gpu
 from repro.sim.instructions import (
     Phase,
     alu,
@@ -87,7 +87,7 @@ def run_hash_lookup(
                   else np.zeros(queries.size))
     out_found = np.zeros(queries.size, dtype=bool)
 
-    gpu = GPU(cfg)
+    gpu = build_gpu(cfg)
     mm = MemoryMap()
     regions = {
         "offsets": mm.alloc_like("offsets", table.offsets),

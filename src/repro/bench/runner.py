@@ -75,12 +75,18 @@ def run_single(
     config: Optional[GPUConfig] = None,
     max_iterations: Optional[int] = None,
     symmetrize: bool = False,
+    engine: Optional[str] = None,
     **processor_kwargs,
 ) -> RunResult:
-    """One (algorithm, graph, schedule) run."""
+    """One (algorithm, graph, schedule) run.
+
+    ``engine`` selects the simulator execution engine by name (see
+    :mod:`repro.sim.engines`); it changes wall-clock speed only, never
+    simulated results.
+    """
     proc = GraphProcessor(
         algorithm, schedule=schedule, config=config,
-        symmetrize=symmetrize, **processor_kwargs,
+        symmetrize=symmetrize, engine=engine, **processor_kwargs,
     )
     return proc.run(graph, max_iterations=max_iterations)
 
@@ -138,6 +144,7 @@ def run_schedule_comparison(
     jobs: Optional[int] = None,
     cache=None,
     telemetry=None,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """The Fig. 10-style grid: every schedule on every graph.
 
@@ -170,6 +177,7 @@ def run_schedule_comparison(
             return _run_grid_engine(
                 algorithm_factory, graphs, schedules, config,
                 max_iterations, symmetrize, jobs, cache, telemetry,
+                engine,
             )
         if jobs is not None or cache is not None or telemetry is not None:
             raise ReproError(
@@ -187,6 +195,7 @@ def run_schedule_comparison(
             run = run_single(
                 algorithm_factory(), graph, sched, config=config,
                 max_iterations=max_iterations, symmetrize=symmetrize,
+                engine=engine,
             )
             result.cycles[graph_name][sched] = run.stats.total_cycles
             result.runs[graph_name][sched] = run
@@ -210,6 +219,7 @@ def _run_grid_engine(
     jobs: Optional[int],
     cache,
     telemetry,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Grid execution through the batch engine."""
     from repro.runtime import (BatchEngine, GraphSpec, JobSpec,
@@ -228,6 +238,7 @@ def _run_grid_engine(
                 config=config,
                 max_iterations=max_iterations,
                 symmetrize=symmetrize,
+                engine=engine,
             ))
             cells.append((graph_name, sched))
 

@@ -21,6 +21,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -32,6 +33,15 @@ from repro.graph.datasets import dataset_spec
 from repro.graph.metrics import average_degree, degree_skewness
 from repro.sched import ALL_SCHEDULES, EXTENDED_SCHEDULES, schedule_names
 from repro.sim import GPUConfig
+
+
+def _add_engine_flag(p) -> None:
+    """The shared ``--engine`` flag (simulator execution engine)."""
+    p.add_argument("--engine", default=None, metavar="NAME",
+                   help="simulator execution engine (reference/fast/"
+                        "auto; default: $REPRO_ENGINE, then "
+                        "reference); engines are bit-identical, this "
+                        "changes wall-clock speed only")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -61,6 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
                             "wall-time table on stdout, profile.json + "
                             "flamegraph.collapsed in DIR; sampler "
                             "spans merge into --trace output")
+    _add_engine_flag(run_p)
 
     cmp_p = sub.add_parser("compare", help="all schedules, one workload")
     cmp_p.add_argument("--algorithm", default="pagerank",
@@ -131,6 +142,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="host-profile the simulator during the "
                               "bench; writes profile.json + "
                               "flamegraph.collapsed to DIR")
+    _add_engine_flag(bench_p)
 
     sub.add_parser("datasets", help="Table III analog inventory")
 
@@ -208,6 +220,7 @@ def _build_parser() -> argparse.ArgumentParser:
                               "parent); writes profile.json + "
                               "flamegraph.collapsed to DIR; sampler "
                               "spans merge into --trace output")
+    _add_engine_flag(batch_p)
 
     serve_p = sub.add_parser(
         "serve",
@@ -258,6 +271,7 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="fold worker host-profile snapshots and "
                               "write profile.json + "
                               "flamegraph.collapsed to DIR")
+    _add_engine_flag(serve_p)
 
     work_p = sub.add_parser(
         "work",
@@ -279,6 +293,7 @@ def _build_parser() -> argparse.ArgumentParser:
     work_p.add_argument("--profile", action="store_true",
                         help="enable the host profiler; per-phase "
                              "snapshots ship home with each result")
+    _add_engine_flag(work_p)
 
     cache_p = sub.add_parser(
         "cache", help="inspect or clear the result cache")
@@ -384,6 +399,7 @@ def _cmd_run(args) -> int:
         args.schedule, config=GPUConfig.vortex_bench(),
         max_iterations=args.iterations,
         tracer=tracer, exec_tracer=exec_tracer,
+        engine=args.engine,
     )
     if sampler is not None:
         sampler.stop()
@@ -563,7 +579,8 @@ def _cmd_bench(args) -> int:
         figures, ctx, jobs=args.jobs, cache=cache, telemetry=telemetry,
         journal=journal, timeout=args.timeout, faults=faults,
         policy="keep_going" if args.keep_going else "fail_fast",
-        dist=args.dist, dist_options=dist_options)
+        dist=args.dist, dist_options=dist_options,
+        sim_engine=args.engine)
     elapsed = time.perf_counter() - start
 
     out_dir = Path(args.out) if args.out else (
@@ -693,28 +710,41 @@ def _load_spec_file(path: str):
 
 
 def _batch_specs(args):
-    """The ``batch``/``serve`` grid (or spec file) as JobSpec objects."""
+    """The ``batch``/``serve`` grid (or spec file) as JobSpec objects.
+
+    ``--engine`` stamps every spec; the field is excluded from the
+    content hash, so stamped specs keep their engine-less cache and
+    journal identities.
+    """
     from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
 
     if args.spec_file:
-        return _load_spec_file(args.spec_file)
-    schedules = args.schedules or list(ALL_SCHEDULES)
-    algorithm = AlgorithmSpec.of(
-        args.algorithm,
-        **({"iterations": args.iterations}
-           if args.algorithm == "pagerank" else
-           {"source": 0} if args.algorithm in ("bfs", "sssp") else {}))
-    return [
-        JobSpec(
-            algorithm=algorithm,
-            graph=GraphSpec.from_dataset(name, scale=args.scale),
-            schedule=sched,
-            config=GPUConfig.vortex_bench(),
-            max_iterations=args.iterations,
-        )
-        for name in args.datasets
-        for sched in schedules
-    ]
+        specs = _load_spec_file(args.spec_file)
+    else:
+        schedules = args.schedules or list(ALL_SCHEDULES)
+        algorithm = AlgorithmSpec.of(
+            args.algorithm,
+            **({"iterations": args.iterations}
+               if args.algorithm == "pagerank" else
+               {"source": 0} if args.algorithm in ("bfs", "sssp")
+               else {}))
+        specs = [
+            JobSpec(
+                algorithm=algorithm,
+                graph=GraphSpec.from_dataset(name, scale=args.scale),
+                schedule=sched,
+                config=GPUConfig.vortex_bench(),
+                max_iterations=args.iterations,
+            )
+            for name in args.datasets
+            for sched in schedules
+        ]
+    if getattr(args, "engine", None):
+        import dataclasses
+
+        specs = [dataclasses.replace(s, engine=args.engine)
+                 for s in specs]
+    return specs
 
 
 def _outcome_rows(outcomes):
@@ -853,6 +883,11 @@ def _cmd_work(args) -> int:
         from repro.obs.profile import enable_profiling
 
         enable_profiling()
+    if args.engine:
+        # Worker-local default for mixed fleets; a lease that carries
+        # its own stamped engine still wins (spec.engine resolves
+        # first).
+        os.environ["REPRO_ENGINE"] = args.engine
     worker = Worker(args.address, worker_id=args.worker_id,
                     connect_timeout=args.connect_timeout,
                     max_jobs=args.max_jobs)
@@ -972,24 +1007,25 @@ def _parse_diff_options(src: str):
 def _diff_live_spec(opts):
     """Build the JobSpec a live diff side re-executes.
 
-    Recognized keys: ``engine`` (only ``reference`` today — the slot
-    the fast-path engine comparison plugs into), ``algorithm``,
-    ``dataset``, ``schedule``, ``scale``, ``iterations``, plus any
-    numeric :class:`GPUConfig` field as an override
-    (``alu_latency=2``) — the deliberate-perturbation lever.
+    Recognized keys: ``engine`` (any registered simulator engine —
+    ``reference``, ``fast``, ``auto``; this is how divergence bisection
+    compares two engines live), ``algorithm``, ``dataset``,
+    ``schedule``, ``scale``, ``iterations``, plus any numeric
+    :class:`GPUConfig` field as an override (``alu_latency=2``) — the
+    deliberate-perturbation lever.
     """
     import dataclasses
 
     from repro.errors import ReproError
     from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
+    from repro.sim.engines import available_engines
 
     opts = dict(opts)
     engine = opts.pop("engine", "reference")
-    if engine != "reference":
+    if engine not in available_engines():
         raise ReproError(
-            f"engine={engine!r} is not implemented; only "
-            "engine=reference exists today (the fast-path engine will "
-            "plug in here)")
+            f"unknown engine {engine!r}; available: "
+            f"{available_engines()}")
     algorithm = opts.pop("algorithm", "pagerank")
     dataset_name = opts.pop("dataset", "bio-human")
     schedule = opts.pop("schedule", "sparseweaver")
@@ -1027,6 +1063,7 @@ def _diff_live_spec(opts):
         schedule=schedule,
         config=config,
         max_iterations=iterations,
+        engine=engine,
     )
 
 

@@ -305,8 +305,15 @@ class Coordinator(BatchEngine):
             info = self._workers.get(worker)
             if info is not None:
                 info.last_seen = now
+        spec_dict = spec.to_dict()
+        if spec.engine is not None:
+            # Execution metadata rides the lease message but never the
+            # content hash: from_dict honors the key, to_dict never
+            # emits it back, so job identity is engine-free while a
+            # stamped batch still forces the engine fleet-wide.
+            spec_dict["engine"] = spec.engine
         stream.send(protocol.lease(
-            spec_hash, spec.to_dict(), index, attempt,
+            spec_hash, spec_dict, index, attempt,
             self.lease_seconds, fault=fault))
 
     def _heartbeat(self, worker: str, spec_hash: Optional[str]) -> None:

@@ -32,11 +32,12 @@ class MicroPointerChase(Figure):
     def summarize(self, ctx, results):
         import numpy as np
 
-        from repro.sim import GPU, MemoryMap
+        from repro.sim import MemoryMap
+        from repro.sim.engines import build_gpu
         from repro.sim.instructions import Phase, load
 
         cfg = _one_warp_config()
-        gpu = GPU(cfg)
+        gpu = build_gpu(cfg)
         mm = MemoryMap()
         region = mm.alloc("chase", 65536, 8)
         hops = 64
@@ -72,12 +73,13 @@ class MicroStreamBandwidth(Figure):
     def summarize(self, ctx, results):
         import numpy as np
 
-        from repro.sim import GPU, GPUConfig, MemoryMap
+        from repro.sim import GPUConfig, MemoryMap
+        from repro.sim.engines import build_gpu
         from repro.sim.instructions import Phase, load
 
         cfg = GPUConfig(num_sockets=1, cores_per_socket=1,
                         warps_per_core=16, threads_per_warp=32)
-        gpu = GPU(cfg)
+        gpu = build_gpu(cfg)
         mm = MemoryMap()
         region = mm.alloc("stream", 1 << 20, 8)
         loads_per_warp = 64
@@ -117,11 +119,11 @@ class MicroIssueThroughput(Figure):
     title = "Microbenchmark: issue throughput"
 
     def summarize(self, ctx, results):
-        from repro.sim import GPU
+        from repro.sim.engines import build_gpu
         from repro.sim.instructions import Phase, alu
 
         cfg = _one_warp_config()
-        gpu = GPU(cfg)
+        gpu = build_gpu(cfg)
         n = 2000
 
         def factory(ctx_):
@@ -151,14 +153,15 @@ class MicroLatencyHiding(Figure):
     def summarize(self, ctx, results):
         import numpy as np
 
-        from repro.sim import GPU, GPUConfig, MemoryMap
+        from repro.sim import GPUConfig, MemoryMap
+        from repro.sim.engines import build_gpu
         from repro.sim.instructions import Phase, alu, load
 
         rows = []
         for warps in (1, 2, 4, 8, 16):
             cfg = GPUConfig(num_sockets=1, cores_per_socket=1,
                             warps_per_core=warps, threads_per_warp=32)
-            gpu = GPU(cfg)
+            gpu = build_gpu(cfg)
             mm = MemoryMap()
             region = mm.alloc("lat", 1 << 20, 8)
 

@@ -25,6 +25,7 @@ yields the other N-1 figures and a resumable journal.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigError, ReproError
@@ -114,6 +115,19 @@ def expand_jobs(
             merged[spec.content_hash()] = spec
     batch = [merged[h] for h in sorted(merged)]
     return batch, per_figure
+
+
+def _apply_sim_engine(batch: List[JobSpec],
+                      sim_engine: Optional[str]) -> List[JobSpec]:
+    """Stamp a simulator engine onto every spec in a batch.
+
+    ``JobSpec.engine`` is excluded from equality and content hashing,
+    so the stamped specs keep their cache addresses and still match
+    the engine-less specs figures rebuild in ``summarize``.
+    """
+    if sim_engine is None:
+        return batch
+    return [dc_replace(spec, engine=sim_engine) for spec in batch]
 
 
 @dataclass
@@ -210,6 +224,7 @@ def run_figures_report(
     faults=None,
     dist: Optional[str] = None,
     dist_options: Optional[Dict] = None,
+    sim_engine: Optional[str] = None,
 ) -> Tuple[Dict[str, FigureOutput], FailureReport]:
     """Regenerate figures with graceful degradation.
 
@@ -229,6 +244,9 @@ def run_figures_report(
     (``lease_seconds``...).  Because the batch is sorted by content
     hash and outcomes are indexed by spec, fleet artifacts are
     byte-identical to local ones.
+    ``sim_engine`` stamps a simulator engine name (``reference`` /
+    ``fast`` / ``auto``) onto every job; engines are bit-identical, so
+    it changes wall-clock speed only, never results or cache keys.
     """
     if policy not in ("keep_going", "fail_fast"):
         raise ConfigError(
@@ -238,6 +256,7 @@ def run_figures_report(
     ordered = _resolve_figure_list(figures)
 
     batch, per_figure = expand_jobs(ordered, ctx)
+    batch = _apply_sim_engine(batch, sim_engine)
     coordinator = None
     if dist is not None:
         if engine is not None:
@@ -290,6 +309,7 @@ def run_figures(
     cache: Optional[ResultCache] = None,
     telemetry: Optional[Telemetry] = None,
     engine: Optional[BatchEngine] = None,
+    sim_engine: Optional[str] = None,
 ) -> Dict[str, FigureOutput]:
     """Regenerate a set of figures; returns name -> output.
 
@@ -305,6 +325,7 @@ def run_figures(
     ordered = _resolve_figure_list(figures)
 
     batch, _per_figure = expand_jobs(ordered, ctx)
+    batch = _apply_sim_engine(batch, sim_engine)
     if engine is None:
         engine = BatchEngine(jobs=jobs, cache=cache, telemetry=telemetry)
     elif jobs is not None or cache is not None or telemetry is not None:
@@ -326,9 +347,11 @@ def run_figure(
     cache: Optional[ResultCache] = None,
     telemetry: Optional[Telemetry] = None,
     engine: Optional[BatchEngine] = None,
+    sim_engine: Optional[str] = None,
 ) -> FigureOutput:
     """Regenerate one figure (name, prefix-unique name, or instance)."""
     figure = name if isinstance(name, Figure) else get_figure(name)
     outputs = run_figures([figure], ctx, jobs=jobs, cache=cache,
-                          telemetry=telemetry, engine=engine)
+                          telemetry=telemetry, engine=engine,
+                          sim_engine=sim_engine)
     return outputs[figure.name]

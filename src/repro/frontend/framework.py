@@ -11,7 +11,9 @@ vertex properties and the merged :class:`~repro.sim.stats.KernelStats`.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -22,10 +24,26 @@ from repro.graph.csr import CSRGraph
 from repro.sched.base import KernelEnv, Schedule
 from repro.sched.registry import make_schedule
 from repro.sim.config import GPUConfig
-from repro.sim.gpu import GPU
+from repro.sim.engines import get_engine
+from repro.sim.fast import ReplayHint
 from repro.sim.instructions import Phase, alu, load, store
 from repro.sim.memory import MemoryMap
 from repro.sim.stats import KernelStats
+
+_GPU_KWARG_WARNED = False
+
+
+def _warn_gpu_kwarg() -> None:
+    """Warn once per process about the legacy ``gpu=`` spelling."""
+    global _GPU_KWARG_WARNED
+    if not _GPU_KWARG_WARNED:
+        _GPU_KWARG_WARNED = True
+        warnings.warn(
+            "GraphProcessor(gpu=...) is deprecated; pass "
+            "engine='<name>' instead (see docs/engines.md)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
 
 
 @dataclass
@@ -59,6 +77,8 @@ class GraphProcessor:
         validate: bool = False,
         tracer=None,
         exec_tracer=None,
+        engine: Optional[str] = None,
+        gpu: Optional[str] = None,
     ) -> None:
         """``validate=True`` arms the edge-coverage check: every gather
         launch must hand each traversal edge to ``edge_update`` at most
@@ -73,7 +93,20 @@ class GraphProcessor:
         :class:`repro.sim.trace.ExecutionTracer`) is handed to every
         kernel launch to capture the simulated-cycle instruction/stall
         timeline.  Both default to off and add no per-instruction work.
+
+        ``engine`` selects the simulator execution engine by name
+        (``reference``, ``fast``, ``auto``, or any registered engine;
+        ``None`` resolves via ``REPRO_ENGINE`` then the default).  The
+        engine never changes simulated results — only how fast they
+        are produced.  ``gpu`` is the deprecated spelling of the same
+        parameter.
         """
+        if gpu is not None:
+            _warn_gpu_kwarg()
+            if engine is None:
+                engine = gpu
+        self._engine = get_engine(engine)
+        self.engine_name = self._engine.name
         self.algorithm = algorithm
         self.schedule = make_schedule(schedule)
         base_config = config or GPUConfig.vortex_bench()
@@ -112,7 +145,7 @@ class GraphProcessor:
         edge_counter = None
         if self.validate:
             alg, edge_counter = _counting_algorithm(alg)
-        gpu = GPU(self.config)
+        gpu = self._engine.build_gpu(self.config, schedule=self.schedule)
         env = KernelEnv(
             graph=traversal,
             algorithm=alg,
@@ -122,15 +155,69 @@ class GraphProcessor:
         )
         env.memory = gpu.memory
 
+        # Replay hints: a replay-capable GPU traces each kernel once
+        # and replays it on later launches.  The gather kernel is only
+        # eligible when its instruction stream cannot depend on state
+        # the kernel itself mutates (``trace_safe`` schedules, no
+        # filters / early exit) and nothing forces the per-instruction
+        # loop (hardware units, execution tracers).  During the trace
+        # drain a recording ``edge_update`` captures argument tuples
+        # instead of mutating state; every replay re-executes them in
+        # issue order, so float accumulation order matches reference.
+        # Init/apply are grid-stride elementwise kernels, so a replay
+        # GPU can compile their traces analytically (contiguous
+        # per-warp index ranges) and never needs the warp generators;
+        # an execution tracer forces the reference loop, which does.
+        fast_elementwise = (gpu.supports_replay
+                            and self.exec_tracer is None)
+        if fast_elementwise:
+            init_hint = ReplayHint("init", elementwise=(
+                [],
+                [env.region(name) for name in _vertex_sized_arrays(env)],
+                1, Phase.INIT, env.num_vertices))
+            apply_hint = ReplayHint("apply", elementwise=(
+                [env.region(alg.acc_array),
+                 env.region(alg.result_array)],
+                [env.region(alg.result_array),
+                 env.region(alg.acc_array)],
+                alg.apply_alu, Phase.APPLY, env.num_vertices))
+        else:
+            init_hint = ReplayHint("init")
+            apply_hint = ReplayHint("apply")
+        fast_gather = (
+            gpu.supports_replay
+            and self.exec_tracer is None
+            and self.schedule.trace_safe
+            and not self.schedule.uses_hardware_unit
+            and not (alg.has_base_filter or alg.has_other_filter
+                     or alg.has_early_exit)
+        )
+        gather_hint = None
+        recording_alg = None
+        if fast_gather:
+            gather_capture: List = []
+            record = gather_capture.append
+
+            def recording_edge_update(state, bases, others, weights,
+                                      eids):
+                record((state, bases, others, weights, eids))
+
+            recording_alg = dc_replace(alg,
+                                       edge_update=recording_edge_update)
+            gather_hint = ReplayHint("gather", capture=gather_capture,
+                                     effect=alg.edge_update)
+
         total = KernelStats()
         per_iteration: List[KernelStats] = []
         if self.time_init:
             with self.tracer.span("init", cat="kernel",
                                   schedule=self.schedule.name) as sp:
                 init_stats = gpu.run_kernel(
-                    _init_kernel_factory(env),
+                    None if fast_elementwise
+                    else _init_kernel_factory(env),
                     flush_caches=flush_caches,
                     tracer=self.exec_tracer,
+                    replay=init_hint,
                 )
                 sp.args["cycles"] = init_stats.total_cycles
             total.merge(init_stats)
@@ -144,24 +231,38 @@ class GraphProcessor:
         while True:
             # Factories are rebuilt per launch: schedules with shared
             # per-launch state (block registries, hardware tables) must
-            # start each gather kernel fresh.
-            warp_factory = self.schedule.warp_factory(env)
-            unit_factory = (
-                self.schedule.unit_factory(env)
-                if self.schedule.uses_hardware_unit else None
-            )
-            if edge_counter is not None:
-                edge_counter["count"] = 0
-            with self.tracer.span("gather", cat="kernel",
-                                  iteration=iterations,
-                                  schedule=self.schedule.name) as sp:
-                gather_stats = gpu.run_kernel(
-                    warp_factory, unit_factory=unit_factory,
-                    tracer=self.exec_tracer,
-                )
-                sp.args["cycles"] = gather_stats.total_cycles
-                sp.args["phases"] = gather_stats.phase_breakdown()
-                sp.args["stalls"] = gather_stats.stall_breakdown()
+            # start each gather kernel fresh.  A stored trace replaces
+            # the factory entirely — eligible streams are identical
+            # across iterations — so replays skip the rebuild.
+            swap = recording_alg is not None and not gpu.has_trace("gather")
+            if swap:
+                env.algorithm = recording_alg
+            try:
+                if gpu.has_trace("gather"):
+                    warp_factory = None
+                    unit_factory = None
+                else:
+                    warp_factory = self.schedule.warp_factory(env)
+                    unit_factory = (
+                        self.schedule.unit_factory(env)
+                        if self.schedule.uses_hardware_unit else None
+                    )
+                if edge_counter is not None:
+                    edge_counter["count"] = 0
+                with self.tracer.span("gather", cat="kernel",
+                                      iteration=iterations,
+                                      schedule=self.schedule.name) as sp:
+                    gather_stats = gpu.run_kernel(
+                        warp_factory, unit_factory=unit_factory,
+                        tracer=self.exec_tracer,
+                        replay=gather_hint,
+                    )
+                    sp.args["cycles"] = gather_stats.total_cycles
+                    sp.args["phases"] = gather_stats.phase_breakdown()
+                    sp.args["stalls"] = gather_stats.stall_breakdown()
+            finally:
+                if swap:
+                    env.algorithm = alg
             if edge_counter is not None:
                 _check_edge_coverage(alg, env, edge_counter["count"])
             if self.time_apply:
@@ -169,8 +270,11 @@ class GraphProcessor:
                                       iteration=iterations,
                                       schedule=self.schedule.name) as sp:
                     apply_stats = gpu.run_kernel(
-                        _apply_kernel_factory(env),
+                        None if (fast_elementwise
+                                 or gpu.has_trace("apply"))
+                        else _apply_kernel_factory(env),
                         tracer=self.exec_tracer,
+                        replay=apply_hint,
                     )
                     sp.args["cycles"] = apply_stats.total_cycles
             else:

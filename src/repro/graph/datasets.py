@@ -143,6 +143,15 @@ def dataset_names() -> List[str]:
     return list(PAPER_DATASETS)
 
 
+#: Memoized dataset builds.  Generators are deterministic (fixed
+#: seeds), so the same (key, scale) always yields the same arrays;
+#: batch runs re-request the same few graphs dozens of times.  Callers
+#: treat graphs as read-only (transforms like ``reverse()`` /
+#: ``undirected()`` return new objects), so sharing is safe.
+_DATASET_CACHE: dict = {}
+_DATASET_CACHE_MAX = 32
+
+
 def dataset(name: str, scale: float = 1.0) -> CSRGraph:
     """Instantiate a dataset analog by key or ``D_*`` alias."""
     key = _ALIASES.get(name.lower(), name)
@@ -150,7 +159,14 @@ def dataset(name: str, scale: float = 1.0) -> CSRGraph:
         raise GraphError(
             f"unknown dataset {name!r}; known: {sorted(PAPER_DATASETS)}"
         )
-    return PAPER_DATASETS[key].instantiate(scale)
+    cache_key = (key, scale)
+    graph = _DATASET_CACHE.get(cache_key)
+    if graph is None:
+        graph = PAPER_DATASETS[key].instantiate(scale)
+        if len(_DATASET_CACHE) >= _DATASET_CACHE_MAX:
+            _DATASET_CACHE.pop(next(iter(_DATASET_CACHE)))
+        _DATASET_CACHE[cache_key] = graph
+    return graph
 
 
 def dataset_spec(name: str) -> DatasetSpec:

@@ -593,9 +593,23 @@ class PerfHistory:
                 "cache_hit_latency_seconds": metrics.get(
                     "cache_hit_latency_seconds"),
                 "peak_rss_bytes": metrics.get("peak_rss_bytes"),
+                "fast_cycles_per_second": None,
+                "fast_ratio": None,
                 "delta": None,
                 "verdict": "-",
             }
+            # Schema >= 3 artifacts carry per-engine metrics; the
+            # fast/reference cycles-per-second ratio is the headline
+            # number for the vectorized engine's trajectory.
+            engines = entry.get("engines") or {}
+            fast_cps = (engines.get("fast") or {}).get(
+                "simulated_cycles_per_second")
+            ref_cps = (engines.get("reference") or {}).get(
+                "simulated_cycles_per_second")
+            if fast_cps is not None:
+                row["fast_cycles_per_second"] = fast_cps
+                if ref_cps:
+                    row["fast_ratio"] = fast_cps / ref_cps
             if rate is not None and prev_rate:
                 row["delta"] = (rate - prev_rate) / prev_rate
                 row["verdict"] = ("REGRESSION"
@@ -621,6 +635,7 @@ def format_trajectory(rows: Iterable[Dict[str, Any]]) -> str:
         delta = ("-" if row["delta"] is None
                  else f"{row['delta'] * 100:+.1f}%")
         rss = row.get("peak_rss_bytes")
+        fast_ratio = row.get("fast_ratio")
         table.append([
             row["git_commit"], row.get("schema", "?"),
             "-" if row["jobs_per_second"] is None
@@ -628,10 +643,11 @@ def format_trajectory(rows: Iterable[Dict[str, Any]]) -> str:
             delta,
             "-" if row["simulated_cycles_per_second"] is None
             else f"{row['simulated_cycles_per_second']:,.0f}",
+            "-" if fast_ratio is None else f"{fast_ratio:.2f}x",
             "-" if rss is None else f"{rss / 2 ** 20:.0f}",
             row["verdict"],
         ])
     return format_table(
         ["commit", "schema", "jobs/s", "Δ jobs/s", "cycles/s",
-         "rss MiB", "verdict"],
+         "fast/ref", "rss MiB", "verdict"],
         table, title=f"perf trajectory ({len(table)} entr(y/ies))")

@@ -87,6 +87,11 @@ class RunSummary:
     #: produced before the field existed, so journal/cache schemas and
     #: checksums need no version bump.
     digest_ledger: Optional[Any] = None
+    #: Which simulator engine produced this summary (in-memory only —
+    #: deliberately absent from :meth:`to_dict`: engines are
+    #: bit-identical, so a summary's cache/journal identity must not
+    #: depend on which one ran; ``""`` when unknown, e.g. cache hits).
+    engine: str = ""
 
     @classmethod
     def from_run_result(cls, result) -> "RunSummary":

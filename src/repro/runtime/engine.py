@@ -275,6 +275,12 @@ class BatchEngine:
             self.cache.put(spec, summary)
         if self.journal is not None:
             self.journal.record(spec, summary)
+        # Which engine ran is execution metadata, not job identity: it
+        # lands on the in-memory summary and in telemetry, never in the
+        # cache/journal payloads (engines are bit-identical).
+        from repro.sim.engines import resolve_engine_name
+
+        summary.engine = resolve_engine_name(spec.engine)
         outcomes[idx] = JobOutcome(spec, "ok", summary, None, attempts,
                                    wall)
         extra = {}
@@ -283,6 +289,7 @@ class BatchEngine:
         self.telemetry.emit("finished", spec,
                             cycles=summary.total_cycles,
                             wall=round(wall, 6), attempt=attempts,
+                            engine=summary.engine,
                             **extra)
         self._job_done("ok", wall)
 

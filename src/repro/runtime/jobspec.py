@@ -225,6 +225,13 @@ class JobSpec:
     symmetrize: bool = False
     seed: int = 0
     schedule_params: Params = ()
+    #: Simulator execution engine (``reference``/``fast``/``auto``;
+    #: ``None`` resolves via ``REPRO_ENGINE``).  Excluded from equality,
+    #: hashing, ``to_dict`` and the content hash: every engine must
+    #: produce bit-identical results, so the engine is an execution
+    #: detail — same cycles, same cache address, same journal identity.
+    #: Telemetry and run metadata record which engine actually ran.
+    engine: Optional[str] = field(default=None, compare=False)
 
     @classmethod
     def create(
@@ -238,13 +245,14 @@ class JobSpec:
         seed: int = 0,
         graph_name: str = "inline",
         schedule_params: Optional[Dict[str, Any]] = None,
+        engine: Optional[str] = None,
     ) -> "JobSpec":
         """Build a spec, coercing a raw :class:`CSRGraph` to inline."""
         if isinstance(graph, CSRGraph):
             graph = GraphSpec.inline(graph, name=graph_name)
         return cls(algorithm, graph, schedule, config, max_iterations,
                    symmetrize, seed,
-                   _freeze_params(schedule_params or {}))
+                   _freeze_params(schedule_params or {}), engine)
 
     # ------------------------------------------------------------------
     def effective_config(self) -> GPUConfig:
@@ -282,7 +290,12 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "JobSpec":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`.
+
+        A stray ``engine`` key (older batch files that serialized one)
+        is honored but never round-trips back out — engines are not
+        part of job identity.
+        """
         config = data.get("config")
         return cls(
             algorithm=AlgorithmSpec.from_dict(data["algorithm"]),
@@ -294,6 +307,7 @@ class JobSpec:
             seed=int(data.get("seed", 0)),
             schedule_params=_freeze_params(
                 data.get("schedule_params", {})),
+            engine=data.get("engine"),
         )
 
     def content_hash(self) -> str:
@@ -302,11 +316,17 @@ class JobSpec:
         Every field change — including any single ``GPUConfig`` field —
         produces a different hash; an inline graph contributes its
         array digest.  Simulator and cache-schema versions are *not*
-        part of this hash; the cache layers them on top.
+        part of this hash; the cache layers them on top.  Specs are
+        frozen, so the digest is computed once and memoized (telemetry
+        hashes every event's spec).
         """
-        return hashlib.sha256(
-            _canonical_json(self.to_dict()).encode("utf-8")
-        ).hexdigest()
+        cached = getattr(self, "_content_hash", None)
+        if cached is None:
+            cached = hashlib.sha256(
+                _canonical_json(self.to_dict()).encode("utf-8")
+            ).hexdigest()
+            object.__setattr__(self, "_content_hash", cached)
+        return cached
 
     # ------------------------------------------------------------------
     def execute(self):
@@ -329,4 +349,5 @@ class JobSpec:
             config=self.effective_config(),
             max_iterations=self.max_iterations,
             symmetrize=self.symmetrize,
+            engine=self.engine,
         )

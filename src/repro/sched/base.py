@@ -107,6 +107,14 @@ class Schedule(ABC):
     label: str = "abstract"
     #: Whether :meth:`unit_factory` must be passed to the kernel launch.
     uses_hardware_unit: bool = False
+    #: Whether the gather instruction stream is *response-independent*:
+    #: it may depend on topology and launch geometry, but never on
+    #: simulated latencies, hardware-unit replies, or state values the
+    #: kernel itself mutates.  Shared per-launch state is allowed only
+    #: if pre-barrier writes are slot-keyed and post-barrier combination
+    #: is idempotent.  Opting in lets the fast engine trace one launch
+    #: and replay it bit-identically (see ``docs/engines.md``).
+    trace_safe: bool = False
 
     @abstractmethod
     def warp_factory(self, env: KernelEnv) -> WarpFactory:

@@ -39,6 +39,9 @@ class CTAMapSchedule(Schedule):
 
     name = "cta_map"
     label = "S_cm"
+    # Shared per-launch registries are slot-keyed before each barrier
+    # and combined idempotently after it — the trace_safe contract.
+    trace_safe = True
 
     def warp_factory(self, env: KernelEnv):
         num_epochs = env.vertex_epochs()

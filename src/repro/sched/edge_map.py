@@ -22,6 +22,7 @@ class EdgeMapSchedule(Schedule):
 
     name = "edge_map"
     label = "S_em"
+    trace_safe = True
 
     def warp_factory(self, env: KernelEnv):
         num_epochs = env.edge_epochs()

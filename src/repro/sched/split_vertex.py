@@ -27,6 +27,7 @@ class SplitVertexMapSchedule(Schedule):
 
     name = "split_vertex_map"
     label = "S_vm+split"
+    trace_safe = True
 
     def __init__(self, max_degree: int = 8) -> None:
         if max_degree < 1:

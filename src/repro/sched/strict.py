@@ -32,6 +32,7 @@ class StrictSchedule(Schedule):
 
     name = "strict"
     label = "S_strict"
+    trace_safe = True
 
     def warp_factory(self, env: KernelEnv):
         cfg = env.config

@@ -34,6 +34,9 @@ class TWCSchedule(Schedule):
 
     name = "twc"
     label = "S_twc"
+    # Bucket registries are slot-keyed before the barrier and
+    # bucketized idempotently after it — the trace_safe contract.
+    trace_safe = True
 
     def __init__(self, small_max: int = 4,
                  medium_max: int = None) -> None:

@@ -38,6 +38,7 @@ class TWCESchedule(TWCSchedule):
 
     name = "twce"
     label = "S_twce"
+    trace_safe = True  # inherits twc's slot-keyed registry discipline
 
     def warp_factory(self, env: KernelEnv):
         cfg = env.config

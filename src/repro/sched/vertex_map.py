@@ -30,6 +30,7 @@ class VertexMapSchedule(Schedule):
 
     name = "vertex_map"
     label = "S_vm"
+    trace_safe = True
 
     def warp_factory(self, env: KernelEnv):
         num_epochs = env.vertex_epochs()

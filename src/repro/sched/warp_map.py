@@ -37,6 +37,7 @@ class WarpMapSchedule(Schedule):
 
     name = "warp_map"
     label = "S_wm"
+    trace_safe = True
 
     def warp_factory(self, env: KernelEnv):
         num_epochs = env.vertex_epochs()

@@ -22,6 +22,17 @@ from repro.sim.stats import KernelStats, StallCat
 from repro.sim.memory import MemoryMap, Region, MemoryHierarchy
 from repro.sim.cache import Cache
 from repro.sim.gpu import GPU, WarpContext
+from repro.sim.fast import FastGPU, ReplayHint
+from repro.sim.engines import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV,
+    SimulatorEngine,
+    available_engines,
+    build_gpu,
+    get_engine,
+    register_engine,
+    resolve_engine_name,
+)
 
 __all__ = [
     "SIMULATOR_VERSION",
@@ -38,4 +49,14 @@ __all__ = [
     "Cache",
     "GPU",
     "WarpContext",
+    "FastGPU",
+    "ReplayHint",
+    "SimulatorEngine",
+    "available_engines",
+    "build_gpu",
+    "get_engine",
+    "register_engine",
+    "resolve_engine_name",
+    "DEFAULT_ENGINE",
+    "ENGINE_ENV",
 ]

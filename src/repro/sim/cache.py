@@ -65,6 +65,31 @@ class Cache:
             dig.note_cache(self._phase, hit)
         return hit
 
+    def lookup_fast(self, line: int) -> bool:
+        """:meth:`lookup` minus the profiler/digester hooks.
+
+        The fast engine's replay loop (:mod:`repro.sim.fast`) resolves
+        those hooks once per kernel instead of once per line; tag
+        state, LRU movement and hit/miss counters are updated exactly
+        as :meth:`lookup` would, so the two are interchangeable
+        bit-for-bit.
+        """
+        if self._set_mask >= 0 and not (self._set_mask & (self._set_mask + 1)):
+            ways = self._sets[line & self._set_mask]
+        else:  # non-power-of-two set count
+            ways = self._sets[line % len(self._sets)]
+        if line in ways:
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        ways.insert(0, line)
+        if len(ways) > self.config.ways:
+            ways.pop()
+        return False
+
     def contains(self, line: int) -> bool:
         """Non-mutating presence check (no stats, no LRU update)."""
         if self._set_mask >= 0 and (self._set_mask & (self._set_mask + 1)) == 0:

@@ -96,9 +96,25 @@ UnitFactory = Callable[[int], Any]
 class GPU:
     """The simulated GPU: cores + memory hierarchy + optional units."""
 
+    #: Whether :meth:`run_kernel` consumes ``replay`` hints.  Drivers
+    #: use this to decide when to swap in a recording ``edge_update``
+    #: (the fast engine captures effects at trace time; the reference
+    #: engine must execute them live).
+    supports_replay = False
+
     def __init__(self, config: GPUConfig) -> None:
         self.config = config
         self.memory = MemoryHierarchy(config)
+
+    # ------------------------------------------------------------------
+    def has_trace(self, key: str) -> bool:
+        """Whether a kernel trace is stored under ``key``.
+
+        The reference engine never stores traces; the fast engine
+        (:class:`repro.sim.fast.FastGPU`) overrides this so drivers can
+        skip rebuilding warp factories for kernels that will replay.
+        """
+        return False
 
     # ------------------------------------------------------------------
     def run_kernel(
@@ -108,6 +124,7 @@ class GPU:
         flush_caches: bool = False,
         max_instructions: int = 500_000_000,
         tracer: Optional[Any] = None,
+        replay: Optional[Any] = None,
     ) -> KernelStats:
         """Run one kernel to completion and return its statistics.
 
@@ -125,6 +142,11 @@ class GPU:
             Invalidate caches before the kernel (cold-start runs).
         max_instructions:
             Safety valve against runaway kernels.
+        replay:
+            Optional :class:`repro.sim.fast.ReplayHint`.  The reference
+            engine ignores it (every launch interprets the generators);
+            it exists so drivers can pass one hint down regardless of
+            which engine built the GPU.
         """
         cfg = self.config
         if flush_caches:
@@ -184,8 +206,16 @@ class GPU:
             sched_start = perf_counter() if prof_on else 0.0
             t, core_id = heapq.heappop(heap)
             warps = cores[core_id]
-            running = [w for w in warps if w.state == _RUNNING]
-            if not running:
+            # One pass finds the first minimal-ready running warp
+            # (strict < keeps the slot-order tie-break that
+            # ``min(running, key=_ready_of)`` had).
+            warp = None
+            best = 1 << 62
+            for w in warps:
+                if w.state == _RUNNING and w.ready < best:
+                    warp = w
+                    best = w.ready
+            if warp is None:
                 blocked = [w for w in warps if w.state == _BARRIER]
                 if blocked:
                     release = max(max(w.ready for w in blocked), t)
@@ -210,7 +240,6 @@ class GPU:
                     profiler.add("schedule", perf_counter() - sched_start)
                 continue
 
-            warp = min(running, key=_ready_of)
             if warp.ready > t:
                 gap = warp.ready - t
                 cat = stall_category(warp.blocked_op)
@@ -373,7 +402,3 @@ _UNIT_OPS = {
     Op.EGHW_PUSH,
     Op.EGHW_FETCH,
 }
-
-
-def _ready_of(warp: _Warp) -> int:
-    return warp.ready

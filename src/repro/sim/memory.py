@@ -170,22 +170,57 @@ class MemoryHierarchy:
         digester = get_digester()
         dig = digester if digester.enabled else None
         start = perf_counter() if prof is not None else 0.0
-        lines = self.lines_for(region, indices)
-        if lines.size == 0:
+        if indices.size <= 64:
+            # Warp-sized accesses dominate; a python-set dedup beats
+            # np.unique at this size.  sorted() keeps the walk order
+            # (and so LRU/DRAM-queue state) identical to lines_for.
+            base = region.base
+            its = region.itemsize
+            shift = self._line_shift
+            lines = sorted({(base + v * its) >> shift
+                            for v in indices.tolist()})
+        else:
+            lines = self.lines_for(region, indices).tolist()
+        nlines = len(lines)
+        if nlines == 0:
             if prof is not None:
                 prof.add("mem/access", perf_counter() - start)
             return 0, 0
         worst = 0
-        for line in lines.tolist():
-            latency = self.access_line(core_id, line, now, prof, dig)
-            if latency > worst:
-                worst = latency
-        total = worst + (lines.size - 1) * self.config.line_throughput
+        if prof is None and dig is None:
+            # Hot path: per-line hierarchy walk with the hook-free
+            # lookups (bit-identical to access_line, see
+            # Cache.lookup_fast).
+            cfg = self.config
+            l1 = self.l1[core_id]
+            l2, l3 = self.l2, self.l3
+            for line in lines:
+                if l1.lookup_fast(line):
+                    latency = cfg.l1.hit_latency
+                elif l2 is not None and l2.lookup_fast(line):
+                    latency = cfg.l2.hit_latency
+                elif l3 is not None and l3.lookup_fast(line):
+                    latency = cfg.l3.hit_latency
+                else:
+                    self.dram_accesses += 1
+                    fill = self._dram_free
+                    if now > fill:
+                        fill = now
+                    self._dram_free = fill + cfg.dram_service_cycles
+                    latency = (fill - now) + cfg.dram_latency_cycles
+                if latency > worst:
+                    worst = latency
+        else:
+            for line in lines:
+                latency = self.access_line(core_id, line, now, prof, dig)
+                if latency > worst:
+                    worst = latency
+        total = worst + (nlines - 1) * self.config.line_throughput
         if prof is not None:
             prof.add("mem/access", perf_counter() - start)
         if dig is not None:
-            dig.note_mem(now, core_id, int(lines.size), total)
-        return total, int(lines.size)
+            dig.note_mem(now, core_id, nlines, total)
+        return total, nlines
 
     # ------------------------------------------------------------------
     def cache_stats(self) -> Dict[str, CacheStats]:

@@ -284,8 +284,8 @@ def test_diff_error_exits(capsys, tmp_path):
                          "--b", "nope-such-source")
     assert code == 2
 
-    # The fast-path engine slot exists but is not implemented yet.
-    code, _out = run_cli(capsys, "diff", "--a", "engine=fast",
+    # Engines must come from the registry.
+    code, _out = run_cli(capsys, "diff", "--a", "engine=warp9",
                          "--b", "engine=reference")
     assert code == 2
 

@@ -139,16 +139,19 @@ def test_grid_stable_across_worker_counts(tmp_path):
 
 # ------------------------------------------------------------------ parity
 
-def test_fig10_parity_with_preport_serial_runner():
+@pytest.mark.parametrize("sim_engine", ["reference", "fast"])
+def test_fig10_parity_with_preport_serial_runner(sim_engine):
     """The registry path reproduces run_schedule_comparison's cycles
-    bit-for-bit (acceptance criterion)."""
+    bit-for-bit (acceptance criterion) — under every simulator
+    execution engine."""
     from repro.bench import run_schedule_comparison
     from repro.figures.defs import fig10 as fig10_defs
     from repro.graph import dataset, dataset_names
     from repro.runtime import AlgorithmSpec
     from repro.sim import GPUConfig
 
-    out = run_figure("fig10_pagerank", SMOKE, jobs=1)
+    out = run_figure("fig10_pagerank", SMOKE, jobs=1,
+                     sim_engine=sim_engine)
 
     names = dataset_names()[:3]  # SMOKE trims to three datasets
     graphs = {n: dataset(n, scale=SMOKE.rescale(0.25)) for n in names}
@@ -157,6 +160,27 @@ def test_fig10_parity_with_preport_serial_runner():
         fig10_defs.SCHEDULES, config=GPUConfig.vortex_bench(),
         max_iterations=2)
     assert out.data["cycles"] == result.cycles
+
+
+def test_cross_engine_cache_identity(tmp_path):
+    """The engine is execution metadata: specs stamped with different
+    engines share content hashes, so a cache warmed by one engine is
+    hit-only for the other — and the summaries are bit-identical."""
+    cache = ResultCache(str(tmp_path))
+
+    cold = Telemetry()
+    first = run_figures(FAST_FIGURES, SMOKE, jobs=1, cache=cache,
+                        telemetry=cold, sim_engine="reference")
+    submitted = cold.count("started")
+    assert submitted > 0 and cold.count("cached") == 0
+
+    warm = Telemetry()
+    second = run_figures(FAST_FIGURES, SMOKE, jobs=1, cache=cache,
+                         telemetry=warm, sim_engine="fast")
+    assert warm.count("started") == 0
+    assert warm.count("cached") == submitted
+    for name in first:
+        assert first[name].blocks == second[name].blocks
 
 
 def test_table1_parity_with_preport_analytic_path():
