@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import signal
 import sys
 from typing import List, Optional
 
@@ -184,6 +185,12 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="append run events to this JSONL file")
     batch_p.add_argument("--timeout", type=float, default=None,
                          help="per-job timeout in seconds")
+    batch_p.add_argument("--deadline", type=float, default=None,
+                         help="batch wall-clock budget in seconds; "
+                              "jobs not started in time are journaled "
+                              "as skipped (deferred to --resume), "
+                              "never guessed (also REPRO_GUARD "
+                              "deadline=N)")
     batch_p.add_argument("--metrics", default=None, metavar="PATH",
                          help="write a metrics-registry snapshot JSON "
                               "(implies --obs)")
@@ -265,6 +272,24 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--faults", default=None, metavar="PLAN",
                          help="fault directives shipped to workers in "
                               "their leases, e.g. 'crash@1,seed=7'")
+    serve_p.add_argument("--max-runtime", type=float, default=None,
+                         metavar="SECONDS",
+                         help="total serving budget; when exhausted the "
+                              "remaining jobs are shed as skipped "
+                              "(journaled for --resume) and the "
+                              "coordinator exits cleanly")
+    serve_p.add_argument("--max-inflight", type=int, default=None,
+                         help="bound outstanding leases; further "
+                              "requests get a backpressure wait "
+                              "instead of a grant")
+    serve_p.add_argument("--breaker", type=int, default=None,
+                         metavar="N",
+                         help="quarantine a worker after N consecutive "
+                              "failures (circuit breaker)")
+    serve_p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="how long a tripped worker stays "
+                              "quarantined (default 30)")
     serve_p.add_argument("--json", action="store_true",
                          help="print outcomes + fleet stats as JSON")
     serve_p.add_argument("--profile", default=None, metavar="DIR",
@@ -287,6 +312,20 @@ def _build_parser() -> argparse.ArgumentParser:
     work_p.add_argument("--connect-timeout", type=float, default=10.0,
                         help="seconds to keep retrying the initial "
                              "connect (workers may start first)")
+    work_p.add_argument("--reconnect", type=int, default=5,
+                        metavar="N",
+                        help="survive up to N consecutive lost "
+                             "sessions (coordinator restart or "
+                             "partition) with jittered exponential "
+                             "backoff; 0 exits on the first loss")
+    work_p.add_argument("--rss-soft", default=None, metavar="SIZE",
+                        help="soft memory limit (e.g. 512M): finish "
+                             "the current job, then sign off and "
+                             "refuse further leases")
+    work_p.add_argument("--rss-hard", default=None, metavar="SIZE",
+                        help="hard memory limit (e.g. 1G): self-evict "
+                             "immediately; the coordinator reclaims "
+                             "the lease like a crash")
     work_p.add_argument("--obs", action="store_true",
                         help="enable the metrics registry; worker "
                              "metrics ship home with each result")
@@ -781,7 +820,8 @@ def _cmd_batch(args) -> int:
                          telemetry=telemetry, timeout=args.timeout,
                          retries=args.retries, tracer=tracer,
                          journal=journal, faults=faults,
-                         fail_fast=args.fail_fast)
+                         fail_fast=args.fail_fast,
+                         deadline=args.deadline)
     profiler, sampler = _start_profiling(args)
     outcomes = engine.run(specs)
     if sampler is not None:
@@ -829,16 +869,33 @@ def _cmd_serve(args) -> int:
         lease_seconds=args.lease_seconds or DEFAULT_LEASE_SECONDS,
         cache=cache, telemetry=telemetry, journal=journal,
         timeout=args.timeout, retries=args.retries, faults=faults,
-        fail_fast=args.fail_fast)
+        fail_fast=args.fail_fast, deadline=args.max_runtime,
+        max_inflight=args.max_inflight,
+        breaker_threshold=args.breaker,
+        breaker_cooldown=args.breaker_cooldown)
     coordinator.start()
     print(f"coordinator serving {len(specs)} job(s) at "
           f"{coordinator.address}; start workers with "
           f"'repro work {coordinator.address}'", flush=True)
     profiler, sampler = _start_profiling(args)
+    # SIGTERM = graceful degradation, not death: shed unresolved work
+    # (journaling every outstanding lease) so run() returns normally
+    # and --resume completes the remainder.  Main thread only; the
+    # coordinator lock is reentrant so shedding from the handler is
+    # safe even mid-transition.
+    previous = None
+    try:
+        previous = signal.signal(
+            signal.SIGTERM,
+            lambda _sig, _frm: coordinator.request_shutdown("sigterm"))
+    except ValueError:
+        pass  # not the main thread (embedded use); no handler then
     try:
         outcomes = coordinator.run(specs)
     finally:
         coordinator.close()
+        if previous is not None:
+            signal.signal(signal.SIGTERM, previous)
     if sampler is not None:
         sampler.stop()
 
@@ -888,14 +945,29 @@ def _cmd_work(args) -> int:
         # its own stamped engine still wins (spec.engine resolves
         # first).
         os.environ["REPRO_ENGINE"] = args.engine
+    guard = None
+    if args.rss_soft or args.rss_hard:
+        from repro.runtime.guard import GuardPolicy, parse_size
+
+        guard = GuardPolicy(
+            rss_soft_bytes=(parse_size(args.rss_soft)
+                            if args.rss_soft else None),
+            rss_hard_bytes=(parse_size(args.rss_hard)
+                            if args.rss_hard else None))
     worker = Worker(args.address, worker_id=args.worker_id,
                     connect_timeout=args.connect_timeout,
-                    max_jobs=args.max_jobs)
+                    max_jobs=args.max_jobs,
+                    max_reconnects=args.reconnect, guard=guard)
     print(f"worker {worker.worker_id} pulling leases from "
           f"{args.address}", flush=True)
     done = worker.run()
+    extra = ""
+    if worker.reconnects:
+        extra += f", {worker.reconnects} reconnect(s)"
+    if worker.stop_reason not in ("", "drained"):
+        extra += f", stopped: {worker.stop_reason}"
     print(f"worker {worker.worker_id} drained: {done} job(s) run, "
-          f"{worker.jobs_failed} failed attempt(s)")
+          f"{worker.jobs_failed} failed attempt(s){extra}")
     return 0
 
 

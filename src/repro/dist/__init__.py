@@ -13,6 +13,8 @@ from repro.dist.coordinator import (DEFAULT_LEASE_SECONDS, Coordinator)
 from repro.dist.protocol import (DEFAULT_HOST, PROTOCOL_VERSION,
                                  ProtocolError, format_address,
                                  parse_address)
+from repro.dist.resilience import (AdmissionGate, CircuitBreaker,
+                                   ReconnectPolicy)
 from repro.dist.worker import Worker, default_worker_id
 
 __all__ = [
@@ -25,4 +27,7 @@ __all__ = [
     "parse_address",
     "format_address",
     "default_worker_id",
+    "AdmissionGate",
+    "CircuitBreaker",
+    "ReconnectPolicy",
 ]

@@ -46,6 +46,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.dist import protocol
 from repro.dist.protocol import (MessageStream, ProtocolError,
                                  format_address, parse_address)
+from repro.dist.resilience import CircuitBreaker, resolve_gate
 from repro.errors import ConfigError
 from repro.obs.metrics import get_registry
 from repro.obs.profile import get_profiler
@@ -85,6 +86,15 @@ class _WorkerInfo:
     jobs_ok: int = 0
     jobs_failed: int = 0
     last_seen: float = field(default=0.0)
+    #: Random per-process token from ``hello``; a reconnect presenting
+    #: the same (worker, session) supersedes the zombie connection.
+    session: str = ""
+    #: Bumped on every supersede; a stale handler thread whose
+    #: generation no longer matches must not reclaim the successor's
+    #: leases on its way out.
+    generation: int = 0
+    reconnects: int = 0
+    last_goodbye: str = ""
 
 
 class Coordinator(BatchEngine):
@@ -100,6 +110,16 @@ class Coordinator(BatchEngine):
     The constructor accepts every :class:`BatchEngine` keyword; the
     ``jobs`` count is meaningless here (parallelism is however many
     workers connect) and is pinned to 1.
+
+    Guardrails: ``max_inflight`` bounds outstanding leases — further
+    requests get ``wait(reason="backpressure")`` instead of a grant.
+    ``breaker_threshold`` arms a per-worker circuit breaker: that many
+    *consecutive* failures quarantine the worker for
+    ``breaker_cooldown`` seconds (``wait(reason="quarantined")``), so
+    a poisoned host stops eating retries.  The engine's ``deadline``
+    budget sheds not-yet-granted work as ``skipped{reason=deadline}``
+    once exhausted — journaled deferrals a ``--resume`` run completes,
+    never altered results.
     """
 
     def __init__(self, bind: str = "127.0.0.1:0", *,
@@ -107,6 +127,9 @@ class Coordinator(BatchEngine):
                  heartbeat_seconds: Optional[float] = None,
                  poll_seconds: float = 0.05,
                  name: str = "coordinator",
+                 max_inflight: Optional[int] = None,
+                 breaker_threshold: Optional[int] = None,
+                 breaker_cooldown: float = 30.0,
                  **engine_kwargs) -> None:
         engine_kwargs.pop("jobs", None)
         super().__init__(jobs=1, **engine_kwargs)
@@ -128,6 +151,19 @@ class Coordinator(BatchEngine):
         self._batch_active = False
         self._batches_done = 0
         self.stale_results = 0
+        #: Admission gate: bounded in-flight leases with
+        #: reject-and-retry-after backpressure (``None`` = unbounded).
+        self._gate = resolve_gate(max_inflight)
+        #: Per-worker circuit breaker: ``breaker_threshold``
+        #: consecutive failures quarantine the worker for
+        #: ``breaker_cooldown`` seconds (``None`` = disabled).
+        self._breaker = (CircuitBreaker(threshold=breaker_threshold,
+                                        cooldown=breaker_cooldown)
+                         if breaker_threshold else None)
+        #: Non-empty once :meth:`request_shutdown` ran; the fleet loop
+        #: and :meth:`_grant` then shed instead of granting.
+        self._shutdown_reason = ""
+        self.jobs_shed = 0
 
         self._server_sock: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
@@ -168,18 +204,40 @@ class Coordinator(BatchEngine):
             self._accept_thread.start()
         return self
 
-    def close(self) -> None:
-        """Stop accepting and drop every connection (idempotent)."""
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting and drop every connection (idempotent).
+
+        ``drain=False`` drops connections without the courtesy drain
+        message — an in-process stand-in for a coordinator crash, used
+        by restart tests (reconnect-capable workers then treat the cut
+        as a partition and re-dial).
+        """
         with self._lock:
             self._closing = True
             sock, self._server_sock = self._server_sock, None
             streams, self._streams = self._streams, []
         if sock is not None:
             try:
+                # shutdown() wakes a concurrently-blocked accept();
+                # close() alone leaves it holding the listening socket,
+                # which would keep the port busy (EADDRINUSE) for a
+                # same-port restart.
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
                 sock.close()
             except OSError:
                 pass
         for stream in streams:
+            # Best-effort drain so reconnect-capable workers exit
+            # instead of treating the dropped socket as a partition
+            # and re-dialing a coordinator that will never return.
+            if drain:
+                try:
+                    stream.send(protocol.drain("coordinator closing"))
+                except OSError:
+                    pass
             stream.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=2.0)
@@ -247,6 +305,11 @@ class Coordinator(BatchEngine):
                     if self._abort and not self._leases:
                         self._drain_pending_as_skipped()
                         break
+                if self._shutdown_reason:
+                    self._shed_remaining(self._shutdown_reason)
+                elif (self._deadline is not None
+                        and self._deadline.expired()):
+                    self._shed_remaining("deadline")
                 self._reclaim_expired()
                 time.sleep(self.poll_seconds)
         finally:
@@ -262,6 +325,56 @@ class Coordinator(BatchEngine):
             self._record_skipped(index, spec, self._outcomes)
             self._open -= 1
 
+    def _shed_remaining(self, reason: str) -> None:
+        """Graceful degradation: defer every unresolved job.
+
+        Queued jobs become ``skipped{reason}`` outcomes; outstanding
+        leases are journaled as reclaims *and* skipped, so the ledger
+        records exactly which jobs were deferred and a ``--resume``
+        run re-simulates them — degradation sheds work, it never
+        invents results.  Idempotent; safe from a signal handler (the
+        lock is reentrant).
+        """
+        with self._lock:
+            if self._outcomes is None or not self._batch_active:
+                return
+            while self._pending:
+                index, spec, _attempt = self._pending.popleft()
+                self._record_skipped(index, spec, self._outcomes,
+                                     reason=reason)
+                self._open -= 1
+                self.jobs_shed += 1
+            for spec_hash in list(self._leases):
+                lease = self._leases.pop(spec_hash)
+                if self.journal is not None:
+                    self.journal.record_reclaim(spec_hash, lease.worker,
+                                                reason)
+                self.telemetry.emit("lease_reclaimed", lease.spec,
+                                    worker=lease.worker, reason=reason)
+                self._count_lease("reclaimed")
+                # The grant entered the in-flight gauge; the skip path
+                # never decrements it (skips normally never started).
+                get_registry().gauge(
+                    "engine_jobs_in_flight",
+                    "Jobs started but not finished").inc(-1)
+                self._record_skipped(lease.index, lease.spec,
+                                     self._outcomes, reason=reason)
+                self._open -= 1
+                self.jobs_shed += 1
+
+    def request_shutdown(self, reason: str = "shutdown") -> None:
+        """Begin graceful shutdown: shed all unresolved work.
+
+        Called from the CLI's SIGTERM handler and ``--max-runtime``
+        guard.  Journals every outstanding lease (as a reclaim) and
+        every shed job (as ``skipped``) before ``run()`` returns, so
+        the operator gets a complete ledger and ``--resume`` picks up
+        exactly where the fleet stopped.
+        """
+        with self._lock:
+            self._shutdown_reason = reason
+        self._shed_remaining(reason)
+
     # ------------------------------------------------------------------
     # lease table transitions (all under self._lock)
     # ------------------------------------------------------------------
@@ -269,6 +382,22 @@ class Coordinator(BatchEngine):
         get_registry().counter(
             "dist_leases_total", "Fleet leases by lifecycle event"
         ).inc(event=event)
+
+    def _breaker_note(self, worker: str, ok: bool) -> None:
+        """Feed one lease outcome to the circuit breaker (lock held)."""
+        if self._breaker is None:
+            return
+        if ok:
+            self._breaker.record_success(worker)
+            return
+        if self._breaker.record_failure(worker):
+            get_registry().counter(
+                "dist_breaker_trips_total",
+                "Workers quarantined by the circuit breaker"
+            ).inc(worker=worker)
+            self.telemetry.emit(
+                "worker_quarantined", None, worker=worker,
+                cooldown=self._breaker.cooldown)
 
     def _grant(self, stream: MessageStream, worker: str) -> None:
         with self._lock:
@@ -281,6 +410,29 @@ class Coordinator(BatchEngine):
             if not self._pending or self._abort:
                 stream.send(protocol.wait(
                     min(DEFAULT_WAIT_SECONDS, self.poll_seconds * 4)))
+                return
+            if self._shutdown_reason or (
+                    self._deadline is not None
+                    and self._deadline.expired()):
+                # Deadline/shutdown: never grant past the budget; the
+                # fleet loop sheds the queue on its next sweep.
+                stream.send(protocol.wait(DEFAULT_WAIT_SECONDS,
+                                          reason="deadline"))
+                return
+            if self._breaker is not None:
+                blocked = self._breaker.blocked_seconds(worker)
+                if blocked > 0:
+                    stream.send(protocol.wait(min(blocked, 1.0),
+                                              reason="quarantined"))
+                    return
+            if (self._gate is not None
+                    and not self._gate.admit(len(self._leases))):
+                get_registry().counter(
+                    "dist_backpressure_total",
+                    "Lease requests rejected by the admission gate"
+                ).inc()
+                stream.send(protocol.wait(self._gate.retry_after,
+                                          reason="backpressure"))
                 return
             index, spec, attempt = self._pending.popleft()
             spec_hash = spec.content_hash()
@@ -334,6 +486,11 @@ class Coordinator(BatchEngine):
 
         Caller holds the lock and has already popped the lease.
         """
+        if reason != "reconnect":
+            # A supersede reclaim is the *partition's* fault, not the
+            # worker's — charging it to the breaker would quarantine
+            # exactly the workers that reconnect correctly.
+            self._breaker_note(lease.worker, ok=False)
         spec_hash = lease.spec.content_hash()
         if self.journal is not None:
             self.journal.record_reclaim(spec_hash, lease.worker, reason)
@@ -382,6 +539,7 @@ class Coordinator(BatchEngine):
                     if self.journal is not None:
                         self.journal.record_reclaim(
                             spec_hash, lease.worker, "timeout")
+                    self._breaker_note(lease.worker, ok=False)
                     self._fail_lease(
                         lease, f"timed out after {self.timeout}s")
                 else:
@@ -393,11 +551,13 @@ class Coordinator(BatchEngine):
     def _handle_connection(self, conn: socket.socket, addr) -> None:
         stream = MessageStream(conn)
         worker: Optional[str] = None
+        generation = 0
         try:
             opening = stream.recv()
-            worker = self._admit(stream, opening, addr)
-            if worker is None:
+            admitted = self._admit(stream, opening, addr)
+            if admitted is None:
                 return
+            worker, generation = admitted
             while True:
                 message = stream.recv()
                 if message is None:
@@ -411,6 +571,8 @@ class Coordinator(BatchEngine):
                     self._fold_result(worker, message)
                     stream.send(protocol.ack())
                 elif kind == "goodbye":
+                    self._note_goodbye(
+                        worker, str(message.get("reason", "")))
                     return
                 else:
                     raise ProtocolError(
@@ -419,12 +581,34 @@ class Coordinator(BatchEngine):
                 ValueError):
             pass  # a broken worker is handled like a dead one
         finally:
-            self._depart(worker)
+            self._depart(worker, generation)
             stream.close()
 
+    def _note_goodbye(self, worker: str, reason: str) -> None:
+        """A clean sign-off carried a reason (e.g. ``memory_soft``)."""
+        if not reason:
+            return
+        with self._lock:
+            info = self._workers.get(worker)
+            if info is not None:
+                info.last_goodbye = reason
+        get_registry().counter(
+            "dist_worker_goodbyes_total",
+            "Worker sign-offs by degradation reason").inc(reason=reason)
+        self.telemetry.emit("worker_goodbye", None, worker=worker,
+                            reason=reason)
+
     def _admit(self, stream: MessageStream, opening,
-               addr) -> Optional[str]:
-        """Validate a ``hello``; returns the worker id or ``None``."""
+               addr) -> Optional[Tuple[str, int]]:
+        """Validate a ``hello``; returns ``(worker, generation)``.
+
+        A reconnecting worker presents the same ``(worker, session)``
+        pair it first joined with; the coordinator then *supersedes*
+        the zombie connection — its leases are reclaimed (retried) and
+        its handler thread, now a stale generation, departs without
+        touching the successor.  A duplicate id with a different (or
+        no) session token is still rejected outright.
+        """
         if opening is None or opening.get("type") != "hello":
             stream.send(protocol.reject("expected hello"))
             return None
@@ -443,34 +627,75 @@ class Coordinator(BatchEngine):
         if not worker:
             stream.send(protocol.reject("empty worker id"))
             return None
+        session = str(opening.get("session") or "")
         now = time.time()
         with self._lock:
+            if self._closing:
+                # A dial that raced close(): its stream would land in
+                # the post-swap list and never be dropped, leaving the
+                # worker blocked on a welcome that cannot come.
+                stream.send(protocol.reject(
+                    "coordinator is shutting down", retry=True))
+                stream.close()
+                return None
             existing = self._workers.get(worker)
             if existing is not None and existing.alive:
-                stream.send(protocol.reject(
-                    f"worker id {worker!r} already connected"))
-                return None
-            self._workers[worker] = _WorkerInfo(
+                if not (session and session == existing.session):
+                    stream.send(protocol.reject(
+                        f"worker id {worker!r} already connected"))
+                    return None
+                # Same identity token: the old connection is a zombie
+                # (partition, coordinator never saw the close).  Take
+                # its leases back for retry and let the reconnect win.
+                held = [self._leases.pop(h) for h, l in list(
+                    self._leases.items()) if l.worker == worker]
+                for lease in held:
+                    self._take_back(lease, "reconnect")
+            reconnect = (existing is not None and bool(session)
+                         and session == existing.session)
+            info = _WorkerInfo(
                 worker=worker, addr=format_address(addr), joined=now,
-                last_seen=now)
+                last_seen=now, session=session)
+            if existing is not None:
+                info.generation = existing.generation + 1
+                if reconnect:
+                    # Cumulative stats survive the new connection; the
+                    # breaker state is keyed by worker id and survives
+                    # regardless (a reconnect does not reset quarantine).
+                    info.jobs_ok = existing.jobs_ok
+                    info.jobs_failed = existing.jobs_failed
+                    info.reconnects = existing.reconnects + 1
+                    info.last_goodbye = existing.last_goodbye
+            self._workers[worker] = info
+            generation = info.generation
             self._streams.append(stream)
         stream.send(protocol.welcome(self.name, self.lease_seconds,
                                      self.heartbeat_seconds))
         self.telemetry.emit("worker_joined", None, worker=worker,
-                            addr=format_address(addr))
+                            addr=format_address(addr),
+                            reconnect=reconnect)
         get_registry().counter(
             "dist_workers_total", "Fleet workers by lifecycle event"
-        ).inc(event="joined")
-        return worker
+        ).inc(event="rejoined" if reconnect else "joined")
+        return worker, generation
 
-    def _depart(self, worker: Optional[str]) -> None:
-        """A connection ended: reclaim the worker's leases."""
+    def _depart(self, worker: Optional[str],
+                generation: int = 0) -> None:
+        """A connection ended: reclaim the worker's leases.
+
+        ``generation`` guards the supersede race: when a reconnect
+        already replaced this connection, the zombie handler's
+        generation is stale and it must not mark the successor dead or
+        steal its leases.
+        """
         if worker is None:
             return
         with self._lock:
             info = self._workers.get(worker)
             if info is None or not info.alive:
                 return
+            if info.generation != generation:
+                return  # superseded by a reconnect; nothing is ours
             info.alive = False
             held = [self._leases.pop(h) for h, l in list(
                 self._leases.items()) if l.worker == worker]
@@ -523,6 +748,7 @@ class Coordinator(BatchEngine):
                 try:
                     summary = RunSummary.from_dict(message["summary"])
                 except (KeyError, ValueError, TypeError) as exc:
+                    self._breaker_note(worker, ok=False)
                     self._fail_lease(
                         lease, "worker returned an undecodable "
                                f"summary: {exc}")
@@ -535,6 +761,7 @@ class Coordinator(BatchEngine):
                     get_profiler().merge_snapshot(message["profile"])
                 if info is not None:
                     info.jobs_ok += 1
+                self._breaker_note(worker, ok=True)
                 get_registry().counter(
                     "dist_jobs_completed_total",
                     "Fleet jobs completed per worker"
@@ -551,6 +778,7 @@ class Coordinator(BatchEngine):
             else:
                 if info is not None:
                     info.jobs_failed += 1
+                self._breaker_note(worker, ok=False)
                 self._fail_lease(
                     lease, str(message.get("error", "worker failure")))
 
@@ -560,16 +788,25 @@ class Coordinator(BatchEngine):
     def fleet_stats(self) -> Dict[str, Any]:
         """Scriptable snapshot of the fleet (for ``--json`` output)."""
         with self._lock:
-            workers = {
-                info.worker: {
+            quarantined = (self._breaker.quarantined()
+                           if self._breaker is not None else [])
+            workers = {}
+            for info in self._workers.values():
+                entry = {
                     "addr": info.addr,
                     "alive": info.alive,
                     "jobs_ok": info.jobs_ok,
                     "jobs_failed": info.jobs_failed,
+                    "reconnects": info.reconnects,
                 }
-                for info in self._workers.values()
-            }
-            return {
+                if info.last_goodbye:
+                    entry["goodbye"] = info.last_goodbye
+                if self._breaker is not None:
+                    entry["quarantined"] = info.worker in quarantined
+                    entry["consecutive_failures"] = (
+                        self._breaker.failures(info.worker))
+                workers[info.worker] = entry
+            stats = {
                 "address": self.address,
                 "lease_seconds": self.lease_seconds,
                 "workers": workers,
@@ -579,4 +816,13 @@ class Coordinator(BatchEngine):
                 "pending": len(self._pending),
                 "stale_results": self.stale_results,
                 "batches_done": self._batches_done,
+                "jobs_shed": self.jobs_shed,
             }
+            if self._shutdown_reason:
+                stats["shutdown"] = self._shutdown_reason
+            if self._gate is not None:
+                stats["admission"] = self._gate.stats()
+            if self._breaker is not None:
+                stats["breaker"] = self._breaker.stats()
+                stats["quarantined"] = quarantined
+            return stats

@@ -32,8 +32,10 @@ poisoned results.
 from __future__ import annotations
 
 import json
+import re
 import socket
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ConfigError, ReproError
@@ -51,6 +53,20 @@ DEFAULT_HOST = "127.0.0.1"
 
 class ProtocolError(ReproError):
     """A malformed, oversized or out-of-order protocol message."""
+
+
+_TYPE_PEEK_RE = re.compile(rb'"type"\s*:\s*"([a-zA-Z_]+)"')
+
+
+def _peek_type(line: bytes) -> str:
+    """Best-effort message kind from a (possibly truncated) frame.
+
+    Keys are emitted sorted, so ``"type"`` may sit past the truncation
+    point of an oversized frame; ``"unknown"`` then — the size is
+    still named in the error.
+    """
+    match = _TYPE_PEEK_RE.search(line)
+    return match.group(1).decode("ascii") if match else "unknown"
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -85,20 +101,54 @@ class MessageStream:
     on a clean EOF (the peer closed) and raises
     :class:`ProtocolError` on garbage, so callers distinguish "worker
     left" from "worker is speaking nonsense".
+
+    ``faults`` attaches a :class:`~repro.runtime.faults.FaultPlan`
+    whose network rules (``net_drop``, ``net_delay:p``,
+    ``net_partition``) are consulted per outbound message;
+    ``fault_state`` is a shared one-element message counter so the
+    index survives reconnects (``None`` starts a fresh counter).  The
+    default path (``faults=None``) costs one ``is None`` test.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, faults=None,
+                 fault_state: Optional[list] = None) -> None:
         self.sock = sock
         self._reader = sock.makefile("rb")
         self._wlock = threading.Lock()
+        self._faults = faults
+        self._fault_state = (fault_state if fault_state is not None
+                             else [0])
+
+    def _inject_net_fault(self, message: Dict[str, Any]) -> bool:
+        """Apply any network fault due now; ``True`` = swallow the send."""
+        index = self._fault_state[0]
+        self._fault_state[0] = index + 1
+        fault = self._faults.net_fault(index)
+        if fault is None:
+            return False
+        kind, param = fault
+        if kind == "net_delay":
+            time.sleep(param if param is not None else 0.05)
+            return False
+        if kind == "net_drop":
+            return True
+        # net_partition: the link dies under the caller, exactly as a
+        # mid-conversation peer loss looks — reconnect logic takes over.
+        self.close()
+        raise OSError(
+            f"injected net_partition before outbound message "
+            f"{index} ({message.get('type', 'unknown')})")
 
     def send(self, message: Dict[str, Any]) -> None:
         """Frame and send one message (thread-safe)."""
+        if self._faults is not None and self._inject_net_fault(message):
+            return
         data = (json.dumps(message, sort_keys=True) + "\n").encode("utf-8")
         if len(data) > MAX_LINE_BYTES:
             raise ProtocolError(
-                f"refusing to send a {len(data)}-byte message "
-                f"(max {MAX_LINE_BYTES})")
+                f"refusing to send a {len(data)}-byte "
+                f"{message.get('type', 'unknown')!r} message "
+                f"(max {MAX_LINE_BYTES} bytes)")
         with self._wlock:
             self.sock.sendall(data)
 
@@ -109,7 +159,9 @@ class MessageStream:
             return None
         if len(line) > MAX_LINE_BYTES:
             raise ProtocolError(
-                f"message exceeds {MAX_LINE_BYTES} bytes")
+                f"inbound {_peek_type(line)!r} message exceeds "
+                f"{MAX_LINE_BYTES} bytes (received at least "
+                f"{len(line)})")
         if not line.endswith(b"\n"):
             return None  # torn tail: the peer died mid-send
         try:
@@ -155,10 +207,22 @@ def expect(message: Optional[Dict[str, Any]],
 # Message constructors — one tiny function per type keeps every field
 # name in exactly one place.
 # ----------------------------------------------------------------------
-def hello(worker: str, sim: str, pid: int) -> Dict[str, Any]:
-    """Worker's opening message: identity + version pins."""
-    return {"type": "hello", "protocol": PROTOCOL_VERSION,
-            "sim": sim, "worker": worker, "pid": pid}
+def hello(worker: str, sim: str, pid: int,
+          session: str = "") -> Dict[str, Any]:
+    """Worker's opening message: identity + version pins.
+
+    ``session`` is a per-process random token: a reconnecting worker
+    presents the same (worker, session) pair, which lets the
+    coordinator *supersede* the zombie connection instead of rejecting
+    the id as a duplicate.  An empty session keeps the strict
+    duplicate-id rejection (imposters cannot steal an id by guessing
+    it without the token).
+    """
+    message = {"type": "hello", "protocol": PROTOCOL_VERSION,
+               "sim": sim, "worker": worker, "pid": pid}
+    if session:
+        message["session"] = session
+    return message
 
 
 def welcome(coordinator: str, lease_seconds: float,
@@ -169,9 +233,18 @@ def welcome(coordinator: str, lease_seconds: float,
             "heartbeat_seconds": heartbeat_seconds}
 
 
-def reject(reason: str) -> Dict[str, Any]:
-    """Coordinator's refusal (version mismatch, duplicate id...)."""
-    return {"type": "reject", "reason": reason}
+def reject(reason: str, retry: bool = False) -> Dict[str, Any]:
+    """Coordinator's refusal (version mismatch, duplicate id...).
+
+    ``retry=True`` marks a transient refusal — the condition (e.g. a
+    coordinator mid-shutdown during a rolling restart) may clear, so a
+    reconnecting worker should back off and dial again rather than
+    treat the rejection as fatal.
+    """
+    message = {"type": "reject", "reason": reason}
+    if retry:
+        message["retry"] = True
+    return message
 
 
 def request(worker: str) -> Dict[str, Any]:
@@ -191,9 +264,17 @@ def lease(spec_hash: str, spec_dict: Dict[str, Any], index: int,
     return message
 
 
-def wait(seconds: float) -> Dict[str, Any]:
-    """Nothing grantable right now; ask again after ``seconds``."""
-    return {"type": "wait", "seconds": seconds}
+def wait(seconds: float, reason: str = "") -> Dict[str, Any]:
+    """Nothing grantable right now; ask again after ``seconds``.
+
+    ``reason`` distinguishes idle waits from backpressure
+    (``"backpressure"``) and circuit-breaker quarantine
+    (``"quarantined"``) in captured conversations.
+    """
+    message = {"type": "wait", "seconds": seconds}
+    if reason:
+        message["reason"] = reason
+    return message
 
 
 def drain(reason: str = "batch complete") -> Dict[str, Any]:
@@ -242,6 +323,16 @@ def ack() -> Dict[str, Any]:
     return {"type": "ack"}
 
 
-def goodbye(worker: str, jobs_done: int) -> Dict[str, Any]:
-    """Worker's clean sign-off."""
-    return {"type": "goodbye", "worker": worker, "jobs_done": jobs_done}
+def goodbye(worker: str, jobs_done: int,
+            reason: str = "") -> Dict[str, Any]:
+    """Worker's clean sign-off.
+
+    ``reason`` marks degradations (``"memory_soft"`` — the worker's
+    soft RSS limit tripped and it refuses further leases) so the
+    coordinator can count them apart from ordinary drains.
+    """
+    message = {"type": "goodbye", "worker": worker,
+               "jobs_done": jobs_done}
+    if reason:
+        message["reason"] = reason
+    return message

@@ -1,0 +1,171 @@
+"""Fleet resilience primitives: reconnects, circuit breaking, admission.
+
+Three small, independently testable policies the fleet composes:
+
+* :class:`ReconnectPolicy` — jittered exponential backoff for a worker
+  that lost its coordinator (restart, partition, injected
+  ``net_partition``).  Jitter is *deterministic* per (worker id,
+  attempt) — the same hash device the fault plan uses — so a chaos
+  test can predict a worker's exact reconnect schedule.
+* :class:`CircuitBreaker` — per-key consecutive-failure counting; a
+  key that fails ``threshold`` times in a row is quarantined for
+  ``cooldown`` seconds.  The coordinator keys it by worker id so a
+  poisoned host (bad disk, broken venv) stops burning retry budget on
+  every job in the batch.
+* :class:`AdmissionGate` — bounded in-flight admission.  The
+  coordinator rejects lease requests beyond ``max_inflight`` with a
+  retry-after backpressure reply instead of overcommitting leases it
+  cannot supervise.
+
+None of these alter results: a reconnected worker re-runs work under a
+fresh lease, a quarantined worker's jobs go to its peers, a rejected
+request is retried after a delay.  Cycle counts stay bit-identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ConfigError
+from repro.runtime.guard import reconnect_jitter
+
+__all__ = ["AdmissionGate", "CircuitBreaker", "ReconnectPolicy"]
+
+
+class ReconnectPolicy:
+    """Jittered exponential backoff schedule for session re-dials.
+
+    ``delay(attempt)`` (attempts count from 1) grows from ``base``
+    doubling up to ``cap``, then shrinks by up to ``jitter`` fraction
+    using a deterministic hash of ``(key, attempt)`` so simultaneous
+    workers never thunder in lockstep yet tests stay reproducible.
+    ``max_retries`` bounds *consecutive* failed sessions; a successful
+    handshake resets the count.
+    """
+
+    def __init__(self, base: float = 0.2, cap: float = 5.0,
+                 jitter: float = 0.5, max_retries: int = 5,
+                 key: str = "") -> None:
+        if not 0.0 <= jitter <= 1.0:
+            raise ConfigError(
+                f"reconnect jitter must be within [0, 1], got {jitter}")
+        self.base = float(base)
+        self.cap = float(cap)
+        self.jitter = float(jitter)
+        self.max_retries = int(max_retries)
+        self.key = key
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before reconnect ``attempt`` (1-based)."""
+        raw = min(self.cap, self.base * (2.0 ** (max(1, attempt) - 1)))
+        if self.jitter <= 0:
+            return raw
+        frac = reconnect_jitter(self.key, attempt)
+        return raw * (1.0 - self.jitter * frac)
+
+    def should_retry(self, attempt: int) -> bool:
+        """Whether reconnect ``attempt`` (1-based) is within budget."""
+        return attempt <= self.max_retries
+
+
+class CircuitBreaker:
+    """Per-key consecutive-failure quarantine.
+
+    ``record_failure`` returns ``True`` when that failure *trips* the
+    breaker (crossed ``threshold``); the key then reports a positive
+    :meth:`blocked_seconds` until ``cooldown`` elapses.  A success —
+    or the cooldown expiring — closes the circuit and resets the
+    count.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 30.0,
+                 clock: Callable[[], float] = time.time) -> None:
+        if threshold < 1:
+            raise ConfigError(
+                f"breaker threshold must be >= 1, got {threshold}")
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self.trips = 0
+        #: key -> [consecutive_failures, open_until]
+        self._state: Dict[str, List[float]] = {}
+
+    def record_failure(self, key: str) -> bool:
+        cell = self._state.setdefault(key, [0, 0.0])
+        cell[0] += 1
+        if cell[0] >= self.threshold and cell[1] <= self._clock():
+            cell[1] = self._clock() + self.cooldown
+            cell[0] = 0
+            self.trips += 1
+            return True
+        return False
+
+    def record_success(self, key: str) -> None:
+        cell = self._state.get(key)
+        if cell is not None:
+            cell[0] = 0
+            cell[1] = 0.0
+
+    def blocked_seconds(self, key: str) -> float:
+        """Seconds until ``key`` may lease again (0 = circuit closed)."""
+        cell = self._state.get(key)
+        if cell is None:
+            return 0.0
+        return max(0.0, cell[1] - self._clock())
+
+    def failures(self, key: str) -> int:
+        cell = self._state.get(key)
+        return int(cell[0]) if cell is not None else 0
+
+    def quarantined(self) -> List[str]:
+        """Keys currently held out of leasing."""
+        now = self._clock()
+        return sorted(k for k, cell in self._state.items()
+                      if cell[1] > now)
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "threshold": self.threshold,
+            "cooldown_seconds": self.cooldown,
+            "trips": self.trips,
+            "quarantined": self.quarantined(),
+        }
+
+
+class AdmissionGate:
+    """Bounded in-flight admission with reject-and-retry-after.
+
+    ``admit(inflight)`` answers whether one more lease may go out;
+    every refusal is counted and carries a suggested
+    :attr:`retry_after` the coordinator ships in its ``wait`` reply.
+    """
+
+    def __init__(self, max_inflight: int,
+                 retry_after: float = 0.2) -> None:
+        if max_inflight < 1:
+            raise ConfigError(
+                f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = int(max_inflight)
+        self.retry_after = float(retry_after)
+        self.rejects = 0
+
+    def admit(self, inflight: int) -> bool:
+        if inflight >= self.max_inflight:
+            self.rejects += 1
+            return False
+        return True
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "max_inflight": self.max_inflight,
+            "rejects": self.rejects,
+        }
+
+
+def resolve_gate(max_inflight: Optional[int],
+                 retry_after: float = 0.2) -> Optional[AdmissionGate]:
+    """``None``-propagating :class:`AdmissionGate` constructor."""
+    if max_inflight is None:
+        return None
+    return AdmissionGate(max_inflight, retry_after=retry_after)

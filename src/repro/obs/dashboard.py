@@ -99,12 +99,22 @@ class BatchWatch:
         info = self.workers.setdefault(worker, {
             "alive": False, "leases": 0, "jobs_done": 0,
             "jobs_failed": 0, "busy_seconds": 0.0, "cycles": 0,
+            "reconnects": 0, "quarantined": False, "degraded": "",
         })
         if kind == "worker_joined":
             info["alive"] = True
+            if record.get("reconnect"):
+                info["reconnects"] += 1
         elif kind == "worker_left":
             info["alive"] = False
+        elif kind == "worker_quarantined":
+            info["quarantined"] = True
+        elif kind == "worker_goodbye":
+            reason = record.get("reason")
+            if isinstance(reason, str) and reason:
+                info["degraded"] = reason
         elif kind == "started":
+            info["quarantined"] = False  # a grant means the circuit closed
             info["leases"] += 1
         elif kind == "lease_result":
             status = record.get("status")
@@ -211,6 +221,10 @@ class BatchWatch:
                 1 for w in self.workers.values() if w["alive"]),
             "leases_expired": self.counts.get("lease_expired", 0),
             "leases_reclaimed": self.counts.get("lease_reclaimed", 0),
+            "workers_quarantined": sum(
+                1 for w in self.workers.values() if w["quarantined"]),
+            "worker_reconnects": sum(
+                w["reconnects"] for w in self.workers.values()),
         }
 
     def fleet(self) -> Dict[str, Dict[str, Any]]:
@@ -280,12 +294,22 @@ def render(watch: BatchWatch, clock: Optional[float] = None) -> str:
         lines.append(store)
     if watch.workers:
         fleet = watch.fleet()
-        lines.append(
+        fleet_line = (
             f"  fleet   : {snap['workers_alive']}/{snap['workers_seen']}"
             f" workers alive | {snap['leases_expired']} leases expired"
             f" | {snap['leases_reclaimed']} reclaimed")
+        if snap["workers_quarantined"]:
+            fleet_line += (f" | {snap['workers_quarantined']} "
+                           f"quarantined")
+        if snap["worker_reconnects"]:
+            fleet_line += (f" | {snap['worker_reconnects']} "
+                           f"reconnect(s)")
+        lines.append(fleet_line)
         for worker, info in fleet.items():
-            state = "up  " if info["alive"] else "gone"
+            if info.get("quarantined"):
+                state = "QUAR"
+            else:
+                state = "up  " if info["alive"] else "gone"
             lines.append(
                 f"    {worker}: {state} {info['jobs_done']} done"
                 + (f", {info['jobs_failed']} failed"
@@ -293,7 +317,9 @@ def render(watch: BatchWatch, clock: Optional[float] = None) -> str:
                 + f", {info['jobs_per_second']:.2f} jobs/s"
                   f" ({info['busy_seconds']:.1f}s busy)"
                 + (f", {info['cycles_per_second']:,.0f} cycles/s"
-                   if info.get("cycles_per_second") else ""))
+                   if info.get("cycles_per_second") else "")
+                + (f", degraded: {info['degraded']}"
+                   if info.get("degraded") else ""))
     if watch.profile_summary:
         prof = watch.profile_summary
         lines.append(

@@ -55,6 +55,35 @@ from repro.obs.metrics import get_registry, percentile_from_counts
 #: Environment switch; any non-empty value enables the profiler.
 PROFILE_ENV = "REPRO_PROFILE"
 
+
+def peak_rss_bytes() -> int:
+    """Peak resident set size of this process, in bytes (0 if unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; the value
+    is a high-water mark, so it only ever grows.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return int(peak if sys.platform == "darwin" else peak * 1024)
+
+
+def read_rss_bytes() -> int:
+    """Current resident set size of this process, in bytes.
+
+    Reads ``/proc/self/statm`` where available (Linux); elsewhere the
+    peak is the best cheap proxy — a memory guard built on it still
+    trips, just never un-trips.
+    """
+    try:
+        with open("/proc/self/statm", "rb") as handle:
+            pages = int(handle.read().split()[1])
+        return pages * os.sysconf("SC_PAGESIZE")
+    except (OSError, ValueError, IndexError, AttributeError):
+        return peak_rss_bytes()
+
 #: Per-opcode execute-time bucket bounds (seconds).  One simulated
 #: instruction's host cost sits in the hundreds of nanoseconds to
 #: tens of microseconds; the tail buckets catch pathological ops.
@@ -127,6 +156,10 @@ class PhaseProfiler:
             return
         registry.counter("sim_profile_kernels_total",
                          "Kernels profiled").inc()
+        registry.gauge(
+            "process_peak_rss_bytes",
+            "Peak resident set size of the profiled process"
+        ).set(peak_rss_bytes())
         registry.counter("sim_profile_wall_seconds_total",
                          "Host wall-seconds inside run_kernel"
                          ).inc(wall_seconds)
@@ -196,6 +229,7 @@ class PhaseProfiler:
             "cycles_per_wall_second": round(
                 self.cycles_per_wall_second(), 1),
             "coverage": round(self.coverage(), 4),
+            "peak_rss_bytes": peak_rss_bytes(),
             "phases": phases,
             "ops": ops,
         }
@@ -208,6 +242,7 @@ class PhaseProfiler:
             "sim_wall_seconds": full["sim_wall_seconds"],
             "cycles_per_wall_second": full["cycles_per_wall_second"],
             "coverage": full["coverage"],
+            "peak_rss_bytes": full["peak_rss_bytes"],
             "top_phases": [
                 [p["phase"], p["seconds"], p["calls"]]
                 for p in full["phases"] if not p["nested"]
@@ -221,7 +256,8 @@ class PhaseProfiler:
             (f"host profile: {data['kernels']} kernel(s), "
              f"{data['sim_wall_seconds']:.3f}s simulator wall, "
              f"{data['cycles_per_wall_second']:,.0f} cycles/s, "
-             f"{data['coverage'] * 100:.1f}% phase coverage"),
+             f"{data['coverage'] * 100:.1f}% phase coverage, "
+             f"{data['peak_rss_bytes'] / 2**20:.0f} MiB peak rss"),
         ]
         for p in data["phases"]:
             indent = "    " if p["nested"] else "  "

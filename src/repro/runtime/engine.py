@@ -47,6 +47,7 @@ from repro.obs.tracing import NULL_TRACER, Tracer
 from repro.runtime.cache import ResultCache, RunSummary
 from repro.runtime.faults import (apply_serial_fault, apply_worker_fault,
                                   get_active_plan)
+from repro.runtime.guard import DeadlineBudget, get_active_guard
 from repro.runtime.jobspec import JobSpec
 from repro.runtime.telemetry import Telemetry
 
@@ -180,6 +181,8 @@ class BatchEngine:
         retry_budget: Optional[int] = None,
         backoff_base: float = 0.05,
         backoff_max: float = 2.0,
+        deadline: Optional[float] = None,
+        guard=None,
     ) -> None:
         """``timeout`` is per-job wall seconds (None = unbounded);
         ``retries`` counts extra attempts per job after a transient
@@ -194,7 +197,15 @@ class BatchEngine:
         the environment; unset = no hooks).  ``fail_fast`` stops
         scheduling after the first failure and marks the remainder
         ``"skipped"``.  ``tracer`` records one span per job lifecycle
-        for Chrome trace export."""
+        for Chrome trace export.  ``deadline`` is a batch-level
+        wall-clock budget in seconds: once exhausted, not-yet-started
+        jobs are shed as ``skipped`` with reason ``deadline``
+        (journaled, so ``--resume`` completes them) and per-job
+        timeouts clamp to the remaining budget.  ``guard`` overrides
+        the ``REPRO_GUARD`` guard policy
+        (:class:`~repro.runtime.guard.GuardPolicy`; ``None`` =
+        resolve from the environment, unset = no guardrails and zero
+        overhead)."""
         self.jobs = resolve_jobs(jobs)
         self.cache = cache
         self.telemetry = telemetry if telemetry is not None else Telemetry()
@@ -208,6 +219,14 @@ class BatchEngine:
         self.backoff_base = backoff_base
         self.backoff_max = backoff_max
         self._budget_left = retry_budget
+        self.guard = guard if guard is not None else get_active_guard()
+        self.deadline_seconds = (
+            deadline if deadline is not None
+            else (self.guard.deadline_seconds
+                  if self.guard is not None else None))
+        #: The running batch's budget; armed by :meth:`run`, ``None``
+        #: otherwise — every hot-path check is a single ``is None``.
+        self._deadline: Optional[DeadlineBudget] = None
 
     # ------------------------------------------------------------------
     def _job_done(self, status: str, wall: float) -> None:
@@ -228,6 +247,8 @@ class BatchEngine:
     # ------------------------------------------------------------------
     def run(self, specs: Sequence[JobSpec]) -> List[JobOutcome]:
         """Execute a batch; outcomes align index-for-index with specs."""
+        self._deadline = (DeadlineBudget(self.deadline_seconds)
+                          if self.deadline_seconds is not None else None)
         outcomes: Dict[int, JobOutcome] = {}
         pending: List[Tuple[int, JobSpec]] = []
         for idx, spec in enumerate(specs):
@@ -302,11 +323,22 @@ class BatchEngine:
         self._job_done("failed", wall)
 
     def _record_skipped(self, idx: int, spec: JobSpec,
-                        outcomes: Dict[int, JobOutcome]) -> None:
-        outcomes[idx] = JobOutcome(
-            spec, "skipped", None,
-            "skipped after an earlier failure (fail_fast)", 0, 0.0)
-        self.telemetry.emit("skipped", spec)
+                        outcomes: Dict[int, JobOutcome],
+                        reason: str = "fail_fast") -> None:
+        """Shed one job.  ``reason`` is ``"fail_fast"``, ``"deadline"``
+        or a shutdown cause; deadline sheds are journaled so a
+        ``--resume`` run completes the deferred work."""
+        if reason == "fail_fast":
+            error = "skipped after an earlier failure (fail_fast)"
+        elif reason == "deadline":
+            error = (f"skipped: batch deadline budget "
+                     f"({self.deadline_seconds:g}s) exhausted")
+        else:
+            error = f"skipped: {reason}"
+        outcomes[idx] = JobOutcome(spec, "skipped", None, error, 0, 0.0)
+        if reason != "fail_fast" and self.journal is not None:
+            self.journal.record_skipped(spec, reason)
+        self.telemetry.emit("skipped", spec, reason=reason)
         self._job_done("skipped", 0.0)
 
     # ------------------------------------------------------------------
@@ -357,6 +389,10 @@ class BatchEngine:
         for idx, spec in pending:
             if abort:
                 self._record_skipped(idx, spec, outcomes)
+                continue
+            if self._deadline is not None and self._deadline.expired():
+                self._record_skipped(idx, spec, outcomes,
+                                     reason="deadline")
                 continue
             attempt = 1
             while True:
@@ -414,6 +450,13 @@ class BatchEngine:
                 # batch has already burned.
                 self._sleep_backoff(round_no - 1)
             batch, queue = queue, []
+            if self._deadline is not None and self._deadline.expired():
+                # Budget gone before this round started: shed, never
+                # spawn a pool the batch has no time to wait on.
+                for idx, spec, _attempt in batch:
+                    self._record_skipped(idx, spec, outcomes,
+                                         reason="deadline")
+                continue
             pool = ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(batch))
             )
@@ -436,9 +479,12 @@ class BatchEngine:
                             "Jobs started but not finished").inc(-1)
                         self._record_skipped(idx, spec, outcomes)
                         continue
+                    timeout = self.timeout
+                    if self._deadline is not None:
+                        timeout = self._deadline.clamp(timeout)
                     try:
                         data = _absorb_metrics(
-                            future.result(timeout=self.timeout))
+                            future.result(timeout=timeout))
                         wall = time.perf_counter() - start
                         self.tracer.add_span(
                             f"job:{spec.label}", "job",
@@ -449,6 +495,17 @@ class BatchEngine:
                             attempt, wall, outcomes)
                     except FutureTimeoutError:
                         future.cancel()
+                        if (self._deadline is not None
+                                and self._deadline.expired()):
+                            # The batch budget ran out, not the job's
+                            # own timeout: shed rather than blame it.
+                            get_registry().gauge(
+                                "engine_jobs_in_flight",
+                                "Jobs started but not finished"
+                            ).inc(-1)
+                            self._record_skipped(idx, spec, outcomes,
+                                                 reason="deadline")
+                            continue
                         self._record_failure(
                             idx, spec,
                             f"timed out after {self.timeout}s", attempt,

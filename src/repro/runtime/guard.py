@@ -1,0 +1,316 @@
+"""Resource guardrails: batch deadline budgets and memory watchdogs.
+
+Degradation policy for long-running batches and fleet workers.  A
+guard never changes *what* a job computes — cycle counts stay
+bit-identical — it only decides whether a job runs **now**, runs
+**later** (a resumable ``--resume`` run picks it up), or whether a
+worker should stop taking work before the kernel OOM-killer makes the
+decision for it.
+
+Two guardrails:
+
+* **Deadline budget** — a batch-level wall-clock allowance.  The
+  engine checks the budget between jobs (and folds it into per-job
+  timeouts on the pool path); once exhausted, remaining jobs are
+  *shed* as ``skipped`` with reason ``deadline`` — journaled so a
+  resume run completes them — instead of the batch overrunning its
+  slot.
+* **Memory guard** — soft and hard RSS limits a worker checks between
+  jobs and from its heartbeat thread.  Soft: finish the current job,
+  refuse new leases, sign off cleanly.  Hard: self-evict immediately
+  (exit :data:`EVICT_EXIT_CODE`); the coordinator reclaims the lease
+  exactly like a crash.  Every pressure event counts into
+  ``guard_memory_pressure_total{level=...}``.
+
+Configuration comes from the ``REPRO_GUARD`` environment variable (or
+an explicit :class:`GuardPolicy`), a comma-separated key=value list::
+
+    REPRO_GUARD="deadline=120,rss_soft=512M,rss_hard=1G"
+
+When ``REPRO_GUARD`` is unset, :func:`get_active_guard` returns
+``None`` and every hook site short-circuits on an ``is None`` check —
+the default path stays a zero-overhead no-op, mirroring
+:func:`repro.runtime.faults.get_active_plan`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+from repro.obs.metrics import get_registry
+from repro.obs.profile import peak_rss_bytes, read_rss_bytes
+
+__all__ = [
+    "DeadlineBudget",
+    "EVICT_EXIT_CODE",
+    "GUARD_ENV",
+    "GuardPolicy",
+    "MemoryGuard",
+    "format_size",
+    "get_active_guard",
+    "parse_size",
+    "peak_rss_bytes",
+    "read_rss_bytes",
+]
+
+#: Environment variable holding the active guard policy.
+GUARD_ENV = "REPRO_GUARD"
+
+#: Exit code of a worker self-evicting on its hard memory limit
+#: (recognizable in logs, distinct from the injected-crash code 86).
+EVICT_EXIT_CODE = 87
+
+_SIZE_UNITS = {
+    "": 1,
+    "b": 1,
+    "k": 1024,
+    "m": 1024 ** 2,
+    "g": 1024 ** 3,
+    "t": 1024 ** 4,
+}
+
+
+def parse_size(text) -> int:
+    """``"512M"`` / ``"1G"`` / ``"65536"`` -> bytes.
+
+    Suffixes are binary (K=1024) and case-insensitive; a bare number
+    is bytes.
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    raw = str(text).strip().lower()
+    if raw.endswith("ib") and len(raw) > 2:
+        raw = raw[:-2]  # "512mib" -> "512m"
+    unit = raw[-1] if raw and raw[-1] in _SIZE_UNITS else ""
+    number = raw[: len(raw) - len(unit)] if unit else raw
+    try:
+        value = float(number)
+    except ValueError:
+        raise ConfigError(
+            f"malformed size {text!r}; expected e.g. 512M or 1G"
+        ) from None
+    if value < 0:
+        raise ConfigError(f"size {text!r} must be non-negative")
+    return int(value * _SIZE_UNITS[unit])
+
+
+def format_size(n: int) -> str:
+    """Bytes -> the shortest exact K/M/G form (inverse of parsing)."""
+    for suffix, unit in (("G", 1024 ** 3), ("M", 1024 ** 2),
+                         ("K", 1024)):
+        if n >= unit and n % unit == 0:
+            return f"{n // unit}{suffix}"
+    return str(int(n))
+
+
+class DeadlineBudget:
+    """A wall-clock allowance for one batch, started at construction.
+
+    ``clock`` is injectable for tests; the default is monotonic so a
+    stepped system clock cannot shed (or extend) a batch.
+    """
+
+    def __init__(self, seconds: float,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if seconds < 0:
+            # Zero is a legal degenerate budget ("already exhausted"),
+            # handy for shed-everything tests and drain-only resumes.
+            raise ConfigError(
+                f"deadline budget must be >= 0, got {seconds!r}")
+        self.seconds = float(seconds)
+        self._clock = clock
+        self.started = clock()
+
+    def elapsed(self) -> float:
+        return self._clock() - self.started
+
+    def remaining(self) -> float:
+        """Seconds left (never negative)."""
+        return max(0.0, self.seconds - self.elapsed())
+
+    def expired(self) -> bool:
+        return self.elapsed() >= self.seconds
+
+    def clamp(self, timeout: Optional[float]) -> Optional[float]:
+        """Fold the budget into a per-job timeout (min of both)."""
+        remaining = self.remaining()
+        if timeout is None:
+            return remaining
+        return min(timeout, remaining)
+
+
+class MemoryGuard:
+    """Soft/hard RSS watchdog with an injectable reader for tests.
+
+    :meth:`check` returns ``"ok"``, ``"soft"`` or ``"hard"`` and
+    counts every non-ok reading into
+    ``guard_memory_pressure_total{level=...}``.
+    """
+
+    def __init__(self, soft_bytes: Optional[int] = None,
+                 hard_bytes: Optional[int] = None,
+                 reader: Optional[Callable[[], int]] = None) -> None:
+        if soft_bytes is None and hard_bytes is None:
+            raise ConfigError("a memory guard needs at least one limit")
+        if (soft_bytes is not None and hard_bytes is not None
+                and soft_bytes > hard_bytes):
+            raise ConfigError(
+                f"soft limit {soft_bytes} exceeds hard limit "
+                f"{hard_bytes}")
+        self.soft_bytes = soft_bytes
+        self.hard_bytes = hard_bytes
+        self._read = reader if reader is not None else read_rss_bytes
+        self.soft_trips = 0
+        self.hard_trips = 0
+        self.last_rss = 0
+
+    def check(self) -> str:
+        """Sample RSS and classify it against the limits."""
+        rss = self._read()
+        self.last_rss = rss
+        if self.hard_bytes is not None and rss >= self.hard_bytes:
+            self.hard_trips += 1
+            self._count("hard")
+            return "hard"
+        if self.soft_bytes is not None and rss >= self.soft_bytes:
+            self.soft_trips += 1
+            self._count("soft")
+            return "soft"
+        return "ok"
+
+    @staticmethod
+    def _count(level: str) -> None:
+        get_registry().counter(
+            "guard_memory_pressure_total",
+            "Memory-guard pressure readings by level"
+        ).inc(level=level)
+
+    def stats(self) -> dict:
+        return {
+            "soft_bytes": self.soft_bytes,
+            "hard_bytes": self.hard_bytes,
+            "soft_trips": self.soft_trips,
+            "hard_trips": self.hard_trips,
+            "last_rss_bytes": self.last_rss,
+        }
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Parsed guardrail configuration (one ``REPRO_GUARD`` value)."""
+
+    deadline_seconds: Optional[float] = None
+    rss_soft_bytes: Optional[int] = None
+    rss_hard_bytes: Optional[int] = None
+
+    @classmethod
+    def parse(cls, text: str) -> Optional["GuardPolicy"]:
+        """Parse ``"deadline=120,rss_soft=512M,rss_hard=1G"``.
+
+        An empty spec means "no guardrails" and parses to ``None``
+        (mirroring an unset ``REPRO_GUARD``); a non-empty spec that
+        nets zero limits is a configuration mistake and raises.
+        """
+        if not str(text).strip():
+            return None
+        deadline = soft = hard = None
+        for token in str(text).split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, sep, value = token.partition("=")
+            if not sep:
+                raise ConfigError(
+                    f"malformed guard token {token!r}; expected "
+                    f"key=value")
+            key = key.strip()
+            value = value.strip()
+            if key == "deadline":
+                try:
+                    deadline = float(value)
+                except ValueError:
+                    raise ConfigError(
+                        f"guard deadline must be seconds, got "
+                        f"{value!r}") from None
+                if deadline <= 0:
+                    raise ConfigError(
+                        f"guard deadline must be positive, got "
+                        f"{value!r}")
+            elif key == "rss_soft":
+                soft = parse_size(value)
+            elif key == "rss_hard":
+                hard = parse_size(value)
+            else:
+                raise ConfigError(
+                    f"unknown guard key {key!r}; known: deadline, "
+                    f"rss_soft, rss_hard")
+        if deadline is None and soft is None and hard is None:
+            raise ConfigError(
+                f"guard policy {text!r} sets no limits")
+        if soft is not None and hard is not None and soft > hard:
+            raise ConfigError(
+                f"rss_soft ({format_size(soft)}) exceeds rss_hard "
+                f"({format_size(hard)})")
+        return cls(deadline_seconds=deadline, rss_soft_bytes=soft,
+                   rss_hard_bytes=hard)
+
+    def spec(self) -> str:
+        """Canonical textual form (inverse of parsing)."""
+        parts = []
+        if self.deadline_seconds is not None:
+            parts.append(f"deadline={self.deadline_seconds:g}")
+        if self.rss_soft_bytes is not None:
+            parts.append(f"rss_soft={format_size(self.rss_soft_bytes)}")
+        if self.rss_hard_bytes is not None:
+            parts.append(f"rss_hard={format_size(self.rss_hard_bytes)}")
+        return ",".join(parts)
+
+    def deadline_budget(self) -> Optional[DeadlineBudget]:
+        """A fresh budget for one batch, or ``None`` (no deadline)."""
+        if self.deadline_seconds is None:
+            return None
+        return DeadlineBudget(self.deadline_seconds)
+
+    def memory_guard(self, reader=None) -> Optional[MemoryGuard]:
+        """A watchdog over the RSS limits, or ``None`` (no limits)."""
+        if self.rss_soft_bytes is None and self.rss_hard_bytes is None:
+            return None
+        return MemoryGuard(self.rss_soft_bytes, self.rss_hard_bytes,
+                           reader=reader)
+
+
+# ----------------------------------------------------------------------
+# Environment-resolved policy (memoized on the raw env value, so tests
+# that monkeypatch REPRO_GUARD see their change immediately).
+# ----------------------------------------------------------------------
+_ENV_RAW: Optional[str] = None
+_ENV_POLICY: Optional[GuardPolicy] = None
+
+
+def get_active_guard() -> Optional[GuardPolicy]:
+    """The policy described by ``REPRO_GUARD``, or ``None`` when unset."""
+    global _ENV_RAW, _ENV_POLICY
+    raw = os.environ.get(GUARD_ENV, "").strip()
+    if not raw:
+        return None
+    if raw != _ENV_RAW:
+        _ENV_RAW = raw
+        _ENV_POLICY = GuardPolicy.parse(raw)
+    return _ENV_POLICY
+
+
+def reconnect_jitter(key: str, attempt: int) -> float:
+    """Deterministic jitter fraction in ``[0, 1)`` for backoff delays.
+
+    Hash-based (no RNG state) so tests can predict a worker's exact
+    reconnect schedule from its id, the same device the fault plan
+    uses for rate rules.
+    """
+    raw = f"{key}:{attempt}".encode("utf-8")
+    draw = int.from_bytes(hashlib.sha256(raw).digest()[:8], "big")
+    return draw / 2.0 ** 64

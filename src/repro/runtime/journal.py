@@ -50,7 +50,7 @@ from repro.sim import SIMULATOR_VERSION
 JOURNAL_SCHEMA = 1
 
 #: Record types a journal line may carry (absent = ``"complete"``).
-RECORD_TYPES = ("complete", "lease", "reclaim")
+RECORD_TYPES = ("complete", "lease", "reclaim", "skipped")
 
 
 def append_jsonl(path, record: Dict[str, Any]) -> None:
@@ -83,12 +83,14 @@ class RunJournal:
         self.path = Path(path)
         self._completed: Dict[str, Dict[str, Any]] = {}
         self._leases: Dict[str, Dict[str, Any]] = {}
+        self._skipped: Dict[str, str] = {}
         self._appended = 0
         self.bad_lines = 0
         self.stale_lines = 0
         self.unknown_lines = 0
         self.lease_lines = 0
         self.reclaim_lines = 0
+        self.skipped_lines = 0
 
     @staticmethod
     def _hash_of(spec_or_hash) -> str:
@@ -116,11 +118,13 @@ class RunJournal:
         """
         self._completed.clear()
         self._leases.clear()
+        self._skipped.clear()
         self.bad_lines = 0
         self.stale_lines = 0
         self.unknown_lines = 0
         self.lease_lines = 0
         self.reclaim_lines = 0
+        self.skipped_lines = 0
         if not self.path.exists():
             return 0
         for line in self.path.read_text().splitlines():
@@ -139,6 +143,15 @@ class RunJournal:
                 if kind == "complete":
                     self._completed[record["hash"]] = record["summary"]
                     self._leases.pop(record["hash"], None)
+                    self._skipped.pop(record["hash"], None)
+                elif kind == "skipped":
+                    # A shed job (deadline/shutdown): recorded for the
+                    # failure report, *not* restored — a resume run
+                    # re-attempts the deferred work.
+                    if record["hash"] not in self._completed:
+                        self._skipped[record["hash"]] = str(
+                            record.get("reason", ""))
+                    self.skipped_lines += 1
                 elif kind == "lease":
                     if not isinstance(record["worker"], str):
                         raise ValueError("lease worker must be a string")
@@ -157,6 +170,7 @@ class RunJournal:
         """Forget everything and truncate the file (fresh run)."""
         self._completed.clear()
         self._leases.clear()
+        self._skipped.clear()
         self._appended = 0
         if self.path.exists():
             self.path.unlink()
@@ -248,6 +262,36 @@ class RunJournal:
         self._appended += 1
         self.reclaim_lines += 1
 
+    def record_skipped(self, spec_or_hash, reason: str,
+                       label: str = "") -> None:
+        """Journal a job the run *shed* (deadline exhausted, shutdown).
+
+        A skip is a deferral, never a result: on ``--resume`` the job
+        re-runs.  The record exists so an interrupted or deadline-cut
+        batch leaves a complete account of every job's fate on disk.
+        """
+        key = self._hash_of(spec_or_hash)
+        self._skipped[key] = reason
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "sim": SIMULATOR_VERSION,
+            "type": "skipped",
+            "hash": key,
+            "reason": reason,
+            "time": round(time.time(), 6),
+        }
+        if label or not isinstance(spec_or_hash, str):
+            record["label"] = label or spec_or_hash.label
+        append_jsonl(self.path, record)
+        self._appended += 1
+        self.skipped_lines += 1
+
+    def skipped(self) -> Dict[str, str]:
+        """Hash -> shed reason, for jobs deferred but never completed."""
+        return {key: reason for key, reason in self._skipped.items()
+                if key not in self._completed}
+
     def active_leases(self) -> Dict[str, Dict[str, Any]]:
         """Hash -> lease record for leases not completed or reclaimed."""
         return {key: dict(record)
@@ -300,4 +344,6 @@ class RunJournal:
             "active_leases": len(self.active_leases()),
             "lease_lines": self.lease_lines,
             "reclaim_lines": self.reclaim_lines,
+            "skipped": len(self.skipped()),
+            "skipped_lines": self.skipped_lines,
         }

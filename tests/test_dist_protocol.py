@@ -145,3 +145,137 @@ def test_lease_fault_serializes_as_list():
     lease = protocol.lease("h", {}, 0, 1, 5.0, fault=("hang", 2.0))
     assert lease["fault"] == ["hang", 2.0]
     assert "fault" not in protocol.lease("h", {}, 0, 1, 5.0)
+
+
+def test_send_oversize_error_names_kind_and_size(stream_pair):
+    a, _b = stream_pair
+    huge = {"type": "result",
+            "blob": "x" * (protocol.MAX_LINE_BYTES + 1)}
+    with pytest.raises(ProtocolError, match=r"'result'") as err:
+        a.send(huge)
+    assert str(protocol.MAX_LINE_BYTES) in str(err.value)
+    # The refusal happened before any bytes hit the wire.
+
+
+def test_recv_oversize_error_names_kind_and_size(stream_pair):
+    a, b = stream_pair
+    import threading
+
+    line = (b'{"type": "result", "blob": "'
+            + b"x" * (protocol.MAX_LINE_BYTES + 64) + b'"}\n')
+    writer = threading.Thread(target=a.sock.sendall, args=(line,),
+                              daemon=True)
+    writer.start()
+    with pytest.raises(ProtocolError, match=r"'result'") as err:
+        b.recv()
+    assert "exceeds" in str(err.value)
+    a.close()
+    writer.join(timeout=5.0)
+
+
+def test_oversized_result_payload_regression():
+    """A worker whose summary balloons past the frame limit must fail
+    that one send with a clean, named ProtocolError — not corrupt the
+    stream or die with a bare OSError (regression for oversize-line
+    handling)."""
+    left, right = socket.socketpair()
+    a, b = MessageStream(left), MessageStream(right)
+    try:
+        message = protocol.result(
+            "w0", "h" * 64, 1, "ok", 0.5,
+            summary={"stall_matrix": "y" * (protocol.MAX_LINE_BYTES)})
+        with pytest.raises(ProtocolError) as err:
+            a.send(message)
+        assert "'result'" in str(err.value)
+        # The stream is still usable for a normally-sized message.
+        a.send(protocol.heartbeat("w0", "h" * 64))
+        assert b.recv()["type"] == "heartbeat"
+    finally:
+        a.close()
+        b.close()
+
+
+# ----------------------------------------------------------------------
+# network fault injection (the MessageStream layer)
+# ----------------------------------------------------------------------
+def _net_stream_pair(plan_text):
+    from repro.runtime.faults import FaultPlan
+
+    left, right = socket.socketpair()
+    plan = FaultPlan.parse(plan_text)
+    return (MessageStream(left, faults=plan), MessageStream(right),
+            plan)
+
+
+def test_net_drop_swallows_one_outbound_message():
+    a, b, _plan = _net_stream_pair("net_drop@0,seed=3")
+    try:
+        a.send(protocol.heartbeat("w", "h"))  # index 0: dropped
+        a.send(protocol.request("w"))         # index 1: delivered
+        assert b.recv()["type"] == "request"
+    finally:
+        a.close()
+        b.close()
+
+
+def test_net_delay_sleeps_then_delivers():
+    import time as time_mod
+
+    a, b, _plan = _net_stream_pair("net_delay@0:0.05,seed=3")
+    try:
+        start = time_mod.monotonic()
+        a.send(protocol.request("w"))
+        assert time_mod.monotonic() - start >= 0.045
+        assert b.recv()["type"] == "request"
+    finally:
+        a.close()
+        b.close()
+
+
+def test_net_partition_raises_oserror_and_closes():
+    a, b, plan = _net_stream_pair("net_partition@1,seed=3")
+    try:
+        a.send(protocol.request("w"))  # index 0: fine
+        assert b.recv()["type"] == "request"
+        with pytest.raises(OSError, match="net_partition"):
+            a.send(protocol.heartbeat("w", "h"))  # index 1: cut
+        assert b.recv() is None  # the link really died
+        assert plan.count("net_partition") == 1
+    finally:
+        a.close()
+        b.close()
+
+
+def test_net_fault_counter_spans_streams():
+    """A shared fault_state makes the message index survive a
+    reconnect: the rule at index 2 fires on the *second* stream."""
+    from repro.runtime.faults import FaultPlan
+
+    plan = FaultPlan.parse("net_partition@2,seed=3")
+    state = [0]
+    first_l, first_r = socket.socketpair()
+    a = MessageStream(first_l, faults=plan, fault_state=state)
+    a.send(protocol.request("w"))   # 0
+    a.send(protocol.request("w"))   # 1
+    a.close()
+    first_r.close()
+
+    second_l, second_r = socket.socketpair()
+    c = MessageStream(second_l, faults=plan, fault_state=state)
+    try:
+        with pytest.raises(OSError, match="net_partition"):
+            c.send(protocol.request("w"))  # index 2 overall
+    finally:
+        c.close()
+        second_r.close()
+
+
+def test_hello_session_and_goodbye_reason_are_optional():
+    assert "session" not in protocol.hello("w", "s", 1)
+    assert protocol.hello("w", "s", 1, session="tok")["session"] == "tok"
+    assert "reason" not in protocol.goodbye("w", 1)
+    assert protocol.goodbye("w", 1, reason="memory_soft")["reason"] == (
+        "memory_soft")
+    assert "reason" not in protocol.wait(0.1)
+    assert protocol.wait(0.1, reason="backpressure")["reason"] == (
+        "backpressure")

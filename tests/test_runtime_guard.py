@@ -1,0 +1,271 @@
+"""Resource guardrails: deadlines, memory limits, guard policy env."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.runtime.guard import (EVICT_EXIT_CODE, DeadlineBudget,
+                                 GuardPolicy, MemoryGuard, format_size,
+                                 get_active_guard, parse_size,
+                                 reconnect_jitter)
+
+
+# ----------------------------------------------------------------------
+# size parsing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("text,expected", [
+    ("0", 0),
+    ("512", 512),
+    ("4k", 4096),
+    ("512M", 512 * 2**20),
+    ("1g", 2**30),
+    ("1.5G", int(1.5 * 2**30)),
+    ("2GiB", 2 * 2**30),
+    ("64mib", 64 * 2**20),
+    ("100b", 100),
+    (2048, 2048),
+])
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@pytest.mark.parametrize("bad", ["", "abc", "12q", "-5", "1.2.3g"])
+def test_parse_size_rejects_garbage(bad):
+    with pytest.raises(ConfigError):
+        parse_size(bad)
+
+
+def test_format_size_round_trips():
+    for n in (0, 512, 4096, 512 * 2**20, 3 * 2**30):
+        assert parse_size(format_size(n)) == n
+
+
+# ----------------------------------------------------------------------
+# deadline budget
+# ----------------------------------------------------------------------
+def test_deadline_budget_counts_down_fake_clock():
+    now = [100.0]
+    budget = DeadlineBudget(10.0, clock=lambda: now[0])
+    assert budget.remaining() == 10.0
+    assert not budget.expired()
+    now[0] = 104.0
+    assert budget.elapsed() == 4.0
+    assert budget.remaining() == 6.0
+    now[0] = 110.0
+    assert budget.expired()
+    assert budget.remaining() == 0.0
+
+
+def test_deadline_budget_clamps_per_job_timeouts():
+    now = [0.0]
+    budget = DeadlineBudget(10.0, clock=lambda: now[0])
+    assert budget.clamp(30.0) == 10.0   # budget tighter than timeout
+    assert budget.clamp(2.0) == 2.0     # timeout tighter than budget
+    assert budget.clamp(None) == 10.0   # no timeout: budget rules
+    now[0] = 9.5
+    assert budget.clamp(30.0) == pytest.approx(0.5)
+
+
+# ----------------------------------------------------------------------
+# memory guard
+# ----------------------------------------------------------------------
+def test_memory_guard_levels_and_trip_counters():
+    rss = [100]
+    guard = MemoryGuard(soft_bytes=500, hard_bytes=1000,
+                        reader=lambda: rss[0])
+    assert guard.check() == "ok"
+    rss[0] = 600
+    assert guard.check() == "soft"
+    assert guard.soft_trips == 1
+    rss[0] = 1500
+    assert guard.check() == "hard"
+    assert guard.hard_trips == 1
+    assert guard.last_rss == 1500
+    rss[0] = 50
+    assert guard.check() == "ok"
+
+
+def test_memory_guard_validates_limits():
+    with pytest.raises(ConfigError):
+        MemoryGuard(soft_bytes=None, hard_bytes=None)
+    with pytest.raises(ConfigError):
+        MemoryGuard(soft_bytes=2000, hard_bytes=1000)
+    # One-sided guards are fine.
+    assert MemoryGuard(soft_bytes=1, reader=lambda: 2).check() == "soft"
+    assert MemoryGuard(hard_bytes=1, reader=lambda: 2).check() == "hard"
+
+
+def test_memory_guard_reads_real_rss_by_default():
+    guard = MemoryGuard(hard_bytes=1)
+    # Any live python process dwarfs one byte.
+    assert guard.check() == "hard"
+    assert guard.last_rss > 2**20
+
+
+# ----------------------------------------------------------------------
+# policy parsing + env resolution
+# ----------------------------------------------------------------------
+def test_guard_policy_parse_and_spec_round_trip():
+    policy = GuardPolicy.parse("deadline=120,rss_soft=512M,rss_hard=1G")
+    assert policy.deadline_seconds == 120.0
+    assert policy.rss_soft_bytes == 512 * 2**20
+    assert policy.rss_hard_bytes == 2**30
+    assert GuardPolicy.parse(policy.spec()) == policy
+
+
+def test_guard_policy_partial_specs():
+    assert GuardPolicy.parse("deadline=5").memory_guard() is None
+    assert GuardPolicy.parse("rss_hard=1G").deadline_budget() is None
+    assert GuardPolicy.parse("") is None
+    with pytest.raises(ConfigError):
+        GuardPolicy.parse("bogus=1")
+    with pytest.raises(ConfigError):
+        GuardPolicy.parse("rss_soft=2G,rss_hard=1G")
+
+
+def test_get_active_guard_memoizes_on_env(monkeypatch):
+    monkeypatch.delenv("REPRO_GUARD", raising=False)
+    assert get_active_guard() is None
+    monkeypatch.setenv("REPRO_GUARD", "deadline=7")
+    first = get_active_guard()
+    assert first is not None and first.deadline_seconds == 7.0
+    assert get_active_guard() is first  # same raw env -> same object
+    monkeypatch.setenv("REPRO_GUARD", "deadline=9")
+    assert get_active_guard().deadline_seconds == 9.0
+    monkeypatch.delenv("REPRO_GUARD")
+    assert get_active_guard() is None
+
+
+def test_reconnect_jitter_is_deterministic_and_bounded():
+    values = {reconnect_jitter("w0", attempt) for attempt in range(8)}
+    assert len(values) > 1  # attempts decorrelate
+    for value in values:
+        assert 0.0 <= value < 1.0
+    assert reconnect_jitter("w0", 3) == reconnect_jitter("w0", 3)
+    assert reconnect_jitter("w0", 3) != reconnect_jitter("w1", 3)
+
+
+def test_evict_exit_code_is_distinct_from_crash():
+    from repro.runtime.faults import CRASH_EXIT_CODE
+
+    assert EVICT_EXIT_CODE != CRASH_EXIT_CODE
+    assert 0 < EVICT_EXIT_CODE < 128
+
+
+# ----------------------------------------------------------------------
+# engine integration: the batch deadline budget
+# ----------------------------------------------------------------------
+def _tiny_specs(n=3):
+    from repro.runtime import AlgorithmSpec, GraphSpec, JobSpec
+
+    return [
+        JobSpec(
+            algorithm=AlgorithmSpec.of("pagerank", iterations=1),
+            graph=GraphSpec.from_generator(
+                "powerlaw_graph", num_vertices=40, num_edges=160,
+                seed=seed),
+            schedule="vertex_map",
+            max_iterations=1,
+        )
+        for seed in range(n)
+    ]
+
+
+def test_engine_without_guard_has_no_deadline(monkeypatch):
+    from repro.runtime import BatchEngine
+
+    monkeypatch.delenv("REPRO_GUARD", raising=False)
+    engine = BatchEngine(jobs=1)
+    assert engine.guard is None
+    assert engine.deadline_seconds is None
+    assert engine._deadline is None
+
+
+def test_engine_deadline_sheds_jobs_as_journaled_skips(tmp_path):
+    from repro.runtime import BatchEngine, RunJournal, Telemetry
+
+    specs = _tiny_specs(3)
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    telemetry = Telemetry()
+    engine = BatchEngine(jobs=1, journal=journal, telemetry=telemetry,
+                         deadline=0.0)  # expired before the first job
+    outcomes = engine.run(specs)
+    assert [o.status for o in outcomes] == ["skipped"] * 3
+    for outcome in outcomes:
+        assert "deadline" in outcome.error
+    skips = [e for e in telemetry.events if e.kind == "skipped"]
+    assert len(skips) == 3
+    assert all(e.payload["reason"] == "deadline" for e in skips)
+    # Deferred, not lost: the skips are journaled and a resume run
+    # (fresh budget) completes every job.
+    assert journal.stats()["skipped_lines"] == 3
+    reloaded = RunJournal(tmp_path / "journal.jsonl")
+    reloaded.load()
+    assert len(reloaded.skipped()) == 3
+    resumed = BatchEngine(jobs=1, journal=reloaded).run(specs)
+    assert [o.status for o in resumed] == ["ok"] * 3
+
+
+def test_engine_deadline_shed_applies_parallel_path(tmp_path):
+    from repro.runtime import BatchEngine, RunJournal
+
+    specs = _tiny_specs(2)
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    engine = BatchEngine(jobs=2, journal=journal, deadline=0.0)
+    outcomes = engine.run(specs)
+    assert [o.status for o in outcomes] == ["skipped"] * 2
+    assert journal.stats()["skipped_lines"] == 2
+
+
+def test_engine_guard_env_sets_deadline(monkeypatch):
+    from repro.runtime import BatchEngine
+
+    monkeypatch.setenv("REPRO_GUARD", "deadline=1234")
+    engine = BatchEngine(jobs=1)
+    assert engine.deadline_seconds == 1234.0
+    # An explicit deadline kwarg wins over the env policy.
+    assert BatchEngine(jobs=1, deadline=5.0).deadline_seconds == 5.0
+
+
+def test_engine_deadline_mid_batch_completes_started_work(tmp_path):
+    """A budget that expires mid-batch keeps finished results and
+    sheds only the remainder — degradation never alters results."""
+    from repro.runtime import BatchEngine, RunJournal
+
+    specs = _tiny_specs(4)
+    baseline = BatchEngine(jobs=1).run(specs)
+
+    clock = {"now": 0.0}
+    journal = RunJournal(tmp_path / "journal.jsonl")
+    engine = BatchEngine(jobs=1, journal=journal, deadline=10.0)
+    # Arm a controllable budget by running with a fake clock: the
+    # first two pre-checks pass, then the budget reads expired.
+    real_run = engine.run
+
+    from repro.runtime.guard import DeadlineBudget
+
+    def fake_clock():
+        clock["now"] += 6.0  # two reads cross the 10s budget
+        return clock["now"]
+
+    outcomes = None
+
+    def run_with_budget(batch):
+        nonlocal outcomes
+        engine.deadline_seconds = 10.0
+        outcomes = real_run(batch)
+
+    engine_budget = DeadlineBudget(10.0, clock=fake_clock)
+    # Patch run()'s arming by pre-seeding: simplest is to drive the
+    # serial path directly with the fake budget installed.
+    engine._deadline = engine_budget
+    pending = [(i, s) for i, s in enumerate(specs)]
+    results = {}
+    engine._run_serial(pending, results)
+    statuses = [results[i].status for i in range(4)]
+    assert statuses[0] == "ok"
+    assert "skipped" in statuses
+    # Completed jobs are bit-identical to the unguarded run.
+    for i, status in enumerate(statuses):
+        if status == "ok":
+            assert (results[i].summary.total_cycles
+                    == baseline[i].summary.total_cycles)

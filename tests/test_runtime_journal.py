@@ -396,3 +396,106 @@ def test_unknown_kind_without_hash_is_not_bad(tmp_path):
     assert journal.load() == 0
     assert journal.unknown_lines == 1
     assert journal.bad_lines == 0
+
+
+# ------------------------------------------------- skipped (shed) records
+def test_skipped_records_round_trip(tmp_path):
+    """A shed job is journaled as a deferral: visible after reload,
+    cleared by a later completion, never blocking resume."""
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(path)
+    journal.record_skipped(_HASHES[0], "deadline")
+    journal.record_skipped(_HASHES[1], "sigterm", label="pr-job")
+
+    loaded = RunJournal(path)
+    loaded.load()
+    assert loaded.skipped() == {_HASHES[0]: "deadline",
+                                _HASHES[1]: "sigterm"}
+    assert loaded.stats()["skipped"] == 2
+    assert loaded.stats()["skipped_lines"] == 2
+    # A skip is not a completion: nothing resumes from it.
+    assert loaded.hashes() == set()
+
+    # The deferred job later completes (a --resume run): the skip is
+    # superseded in both orders of load.
+    _complete_line(path, _HASHES[0])
+    again = RunJournal(path)
+    again.load()
+    assert again.skipped() == {_HASHES[1]: "sigterm"}
+    assert _HASHES[0] in again.hashes()
+
+
+def test_rotate_drops_skipped_records(tmp_path):
+    """Rotation keeps completions only; stale deferral lines (already
+    superseded or still pending) do not survive compaction."""
+    path = tmp_path / "run.jsonl"
+    journal = RunJournal(path)
+    journal.record_skipped(_HASHES[0], "deadline")
+    _complete_line(path, _HASHES[1])
+    journal.load()
+    journal.rotate()
+    compacted = RunJournal(path)
+    compacted.load()
+    assert compacted.skipped() == {}
+    assert compacted.hashes() == {_HASHES[1]}
+
+
+_RESILIENT_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("lease"), st.sampled_from(_HASHES),
+                  st.sampled_from(_WORKERS)),
+        st.tuples(st.just("reclaim"), st.sampled_from(_HASHES),
+                  st.sampled_from(_WORKERS)),
+        st.tuples(st.just("reconnect"), st.sampled_from(_HASHES),
+                  st.sampled_from(_WORKERS)),
+        st.tuples(st.just("skip"), st.sampled_from(_HASHES),
+                  st.just("")),
+        st.tuples(st.just("complete"), st.sampled_from(_HASHES),
+                  st.just("")),
+    ),
+    max_size=50,
+)
+
+
+@given(ops=_RESILIENT_OPS, writers=st.integers(min_value=1, max_value=3))
+@settings(max_examples=60, deadline=None)
+def test_resilient_ledger_with_reconnects_matches_model(ops, writers):
+    """The lease ledger property extended with the resilience record
+    kinds: reconnect-reason reclaims (a superseded zombie connection)
+    and skipped deferrals.  Any interleaving across several writer
+    handles folds to what a sequential model predicts — no lost and no
+    duplicated state."""
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "run.jsonl"
+        handles = [RunJournal(path) for _ in range(writers)]
+        completed, leases, skips = set(), {}, {}
+        for i, (kind, job_hash, worker) in enumerate(ops):
+            journal = handles[i % writers]
+            if kind == "lease":
+                journal.record_lease(job_hash, worker, 30.0, attempt=1)
+                leases[job_hash] = worker
+            elif kind == "reclaim":
+                journal.record_reclaim(job_hash, worker, "expired")
+                leases.pop(job_hash, None)
+            elif kind == "reconnect":
+                # The supersede path: same records, distinct reason.
+                journal.record_reclaim(job_hash, worker, "reconnect")
+                leases.pop(job_hash, None)
+            elif kind == "skip":
+                journal.record_skipped(job_hash, "deadline")
+                skips[job_hash] = "deadline"
+            else:
+                _complete_line(path, job_hash)
+                completed.add(job_hash)
+                leases.pop(job_hash, None)
+
+        loaded = RunJournal(path)
+        loaded.load()
+        assert loaded.bad_lines == 0
+        assert loaded.hashes() == completed
+        active = loaded.active_leases()
+        assert ({h: r["worker"] for h, r in active.items()}
+                == {h: w for h, w in leases.items()
+                    if h not in completed})
+        assert loaded.skipped() == {h: r for h, r in skips.items()
+                                    if h not in completed}
